@@ -1,0 +1,28 @@
+# Convenience targets for the ADN reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples check-all loc
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/object_store.py
+	$(PYTHON) examples/autoscaling.py
+	$(PYTHON) examples/offload_planner.py
+	$(PYTHON) examples/resilience.py
+	$(PYTHON) examples/external_ingress.py
+	$(PYTHON) examples/three_tier.py
+
+check-all: test bench examples
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

@@ -1,0 +1,23 @@
+"""Benchmark configuration: make the harness importable and register
+the shared fig5 fixture so both panels reuse one set of simulation runs."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(scope="session")
+def fig5_throughput():
+    from bench_harness import fig5_matrix
+
+    return fig5_matrix("throughput")
+
+
+@pytest.fixture(scope="session")
+def fig5_latency():
+    from bench_harness import fig5_matrix
+
+    return fig5_matrix("latency")

@@ -1,0 +1,76 @@
+"""Generated-code overhead study (§6: "Compared to hand-optimized mRPC
+modules, ADN modules have 3–12% lower performance. This degradation is
+primarily due to the programming abstraction of ADN.").
+
+Sweeps chain length: the more element work per RPC, the larger the share
+of time spent in generated (vs hand-specialized) code, so the gap grows
+with the chain — bounded by the paper's 12%.
+"""
+
+import pytest
+
+from bench_harness import bench_assert, print_table, run_adn
+
+CHAINS = {
+    "1 element": ("Acl",),
+    "2 elements": ("Logging", "Acl"),
+    "3 elements": ("Logging", "Acl", "Fault"),
+    "5 elements": ("Logging", "Acl", "Fault", "Metrics", "LbKeyHash"),
+}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for label, chain in CHAINS.items():
+        generated = run_adn(chain, "throughput")
+        hand = run_adn(chain, "throughput", handcoded=True)
+        gap = (
+            (hand.throughput_krps - generated.throughput_krps)
+            / hand.throughput_krps
+            * 100
+        )
+        results[label] = {
+            "generated_krps": generated.throughput_krps,
+            "hand_krps": hand.throughput_krps,
+            "gap_pct": gap,
+        }
+    return results
+
+
+def test_codegen_overhead_table(sweep, benchmark):
+    def report():
+        return print_table(
+            "Generated vs hand-coded mRPC modules",
+            rows=list(CHAINS),
+            columns=["generated_krps", "hand_krps", "gap_pct"],
+            cell=lambda row, col: sweep[row][col],
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_gap_within_paper_band_for_eval_chain(sweep, benchmark):
+    def check():
+        gap = sweep["3 elements"]["gap_pct"]
+        assert 3.0 <= gap <= 12.0, f"gap {gap:.1f}%"
+        return gap
+
+    bench_assert(benchmark, check)
+
+
+def test_gap_grows_with_chain_length(sweep, benchmark):
+    def check():
+        gaps = [sweep[label]["gap_pct"] for label in CHAINS]
+        assert gaps[0] < gaps[-1]
+        return gaps
+
+    bench_assert(benchmark, check)
+
+
+def test_gap_never_exceeds_paper_bound(sweep, benchmark):
+    def check():
+        for label, cells in sweep.items():
+            assert cells["gap_pct"] <= 13.0, (label, cells["gap_pct"])
+
+    bench_assert(benchmark, check)

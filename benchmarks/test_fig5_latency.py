@@ -1,0 +1,86 @@
+"""Figure 5 (right panel): end-to-end RPC latency (µs) for Logging /
+ACL / Fault under gRPC+Envoy vs ADN+mRPC vs hand-coded mRPC.
+
+Paper numbers: ADN gives **17–20x lower RPC latency** than using Envoy
+for the same functionality; the Envoy bars sit around 1.1–1.25 ms.
+"""
+
+import pytest
+
+from bench_harness import PAPER_ELEMENTS, bench_assert, print_table
+
+SYSTEMS = ["gRPC+Envoy", "ADN+mRPC", "Hand-coded mRPC"]
+
+
+def test_fig5_latency_table(fig5_latency, benchmark):
+    matrix = fig5_latency
+
+    def report():
+        return print_table(
+            "Figure 5 (right): median RPC latency",
+            rows=SYSTEMS,
+            columns=list(PAPER_ELEMENTS),
+            cell=lambda system, element: matrix[element][
+                system
+            ].latency.median_us(),
+            unit="us",
+        )
+
+    bench_assert(benchmark, report)
+
+
+@pytest.mark.parametrize("element", PAPER_ELEMENTS)
+def test_adn_latency_17_to_20x_lower(fig5_latency, element, benchmark):
+    def check():
+        envoy = fig5_latency[element]["gRPC+Envoy"].latency.median_us()
+        adn = fig5_latency[element]["ADN+mRPC"].latency.median_us()
+        ratio = envoy / adn
+        assert 14.0 <= ratio <= 23.0, f"{element}: Envoy/ADN {ratio:.1f}x"
+        return ratio
+
+    bench_assert(benchmark, check)
+
+
+@pytest.mark.parametrize("element", PAPER_ELEMENTS)
+def test_envoy_latency_near_paper_band(fig5_latency, element, benchmark):
+    def check():
+        envoy = fig5_latency[element]["gRPC+Envoy"].latency.median_us()
+        assert 800 <= envoy <= 1400, f"{element}: Envoy at {envoy:.0f} us"
+        return envoy
+
+    bench_assert(benchmark, check)
+
+
+@pytest.mark.parametrize("element", PAPER_ELEMENTS)
+def test_adn_latency_tens_of_us(fig5_latency, element, benchmark):
+    def check():
+        adn = fig5_latency[element]["ADN+mRPC"].latency.median_us()
+        assert 30 <= adn <= 90, f"{element}: ADN at {adn:.0f} us"
+        return adn
+
+    bench_assert(benchmark, check)
+
+
+@pytest.mark.parametrize("element", PAPER_ELEMENTS)
+def test_handcoded_no_slower_than_generated(fig5_latency, element, benchmark):
+    def check():
+        adn = fig5_latency[element]["ADN+mRPC"].latency.median_us()
+        hand = fig5_latency[element]["Hand-coded mRPC"].latency.median_us()
+        assert hand <= adn
+
+    bench_assert(benchmark, check)
+
+
+def test_latency_ratio_consistent_across_elements(fig5_latency, benchmark):
+    def check():
+        """The ratio is stable across the three elements (the stack
+        dominates, not the element)."""
+        ratios = []
+        for element in PAPER_ELEMENTS:
+            envoy = fig5_latency[element]["gRPC+Envoy"].latency.median_us()
+            adn = fig5_latency[element]["ADN+mRPC"].latency.median_us()
+            ratios.append(envoy / adn)
+        assert max(ratios) - min(ratios) < 6.0
+        return ratios
+
+    bench_assert(benchmark, check)

@@ -1,0 +1,78 @@
+"""Lines-of-code comparison (§6 text / abstract): "ADN elements have
+tens of lines of SQL, whereas hand-written mRPC modules have hundreds of
+lines of Rust" — "reducing the lines of code by two orders of magnitude".
+
+Three columns per element: the DSL source we actually compile, the
+hand-written Python modules in this repo (a same-language reference
+point), and the paper's Rust mRPC module counts.
+"""
+
+from repro.baselines import RUST_LOC, hand_module_loc
+from repro.dsl.stdlib import stdlib_loc
+
+from bench_harness import PAPER_ELEMENTS, bench_assert, print_table
+
+
+def test_loc_table(benchmark):
+    def report():
+        return print_table(
+            "Lines of code per element (paper §6)",
+            rows=list(PAPER_ELEMENTS),
+            columns=["ADN DSL", "hand Python", "hand Rust (paper)"],
+            cell=lambda element, col: float(
+                {
+                    "ADN DSL": stdlib_loc(element),
+                    "hand Python": hand_module_loc(element),
+                    "hand Rust (paper)": RUST_LOC[element],
+                }[col]
+            ),
+            unit="non-blank lines",
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_dsl_is_tens_of_lines(benchmark):
+    def check():
+        for element in PAPER_ELEMENTS:
+            loc = stdlib_loc(element)
+            assert loc <= 30, f"{element}: {loc} DSL lines"
+        return [stdlib_loc(e) for e in PAPER_ELEMENTS]
+
+    bench_assert(benchmark, check)
+
+
+def test_rust_is_two_orders_of_magnitude_more(benchmark):
+    def check():
+        ratios = []
+        for element in PAPER_ELEMENTS:
+            ratio = RUST_LOC[element] / stdlib_loc(element)
+            ratios.append(ratio)
+            assert ratio >= 20, f"{element}: only {ratio:.0f}x"
+        # averaged, the gap approaches two orders of magnitude
+        assert sum(ratios) / len(ratios) >= 30
+        return ratios
+
+    bench_assert(benchmark, check)
+
+
+def test_hand_python_several_times_dsl(benchmark):
+    def check():
+        for element in PAPER_ELEMENTS:
+            assert hand_module_loc(element) >= 3 * stdlib_loc(element)
+
+    bench_assert(benchmark, check)
+
+
+def test_generated_code_larger_than_dsl(benchmark):
+    def check():
+        """The compiler writes the verbose code so the developer doesn't
+        have to: generated Python exceeds its DSL source."""
+        from bench_harness import compile_chain
+
+        chain = compile_chain(PAPER_ELEMENTS)
+        for element in PAPER_ELEMENTS:
+            generated = chain.elements[element].artifact("python").loc
+            assert generated > stdlib_loc(element)
+
+    bench_assert(benchmark, check)

@@ -1,0 +1,108 @@
+"""Service-mesh overhead (§1/§2): "it can increase message processing
+latency by up to 2.7–7.1x and CPU usage by up to 1.6–7x" — measured as
+gRPC+Envoy sidecars versus plain gRPC with no mesh.
+
+Also records ADN against both, quantifying how much of the mesh tax the
+application-defined network removes.
+"""
+
+import pytest
+
+from bench_harness import (
+    bench_assert,
+    print_table,
+    run_adn,
+    run_envoy,
+    run_plain_grpc,
+)
+
+CHAIN = ("Logging", "Acl", "Fault")
+
+
+@pytest.fixture(scope="module")
+def overhead_results():
+    return {
+        "plain gRPC": {
+            "latency": run_plain_grpc("latency"),
+            "throughput": run_plain_grpc("throughput"),
+        },
+        "gRPC+Envoy": {
+            "latency": run_envoy(CHAIN, "latency"),
+            "throughput": run_envoy(CHAIN, "throughput"),
+        },
+        "ADN+mRPC": {
+            "latency": run_adn(CHAIN, "latency"),
+            "throughput": run_adn(CHAIN, "throughput"),
+        },
+    }
+
+
+def test_mesh_overhead_table(overhead_results, benchmark):
+    def report():
+        return print_table(
+            "Mesh overhead vs plain gRPC",
+            rows=list(overhead_results),
+            columns=["median_us", "rate_krps", "cpu_us_per_rpc"],
+            cell=lambda row, col: {
+                "median_us": overhead_results[row][
+                    "latency"
+                ].latency.median_us(),
+                "rate_krps": overhead_results[row][
+                    "throughput"
+                ].throughput_krps,
+                "cpu_us_per_rpc": overhead_results[row][
+                    "throughput"
+                ].cpu_us_per_rpc(),
+            }[col],
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_mesh_latency_tax_in_paper_band(overhead_results, benchmark):
+    def check():
+        plain = overhead_results["plain gRPC"]["latency"].latency.median_us()
+        mesh = overhead_results["gRPC+Envoy"]["latency"].latency.median_us()
+        ratio = mesh / plain
+        assert 2.7 <= ratio <= 8.0, f"mesh latency tax {ratio:.1f}x"
+        return ratio
+
+    bench_assert(benchmark, check)
+
+
+def test_mesh_cpu_tax_in_paper_band(overhead_results, benchmark):
+    def check():
+        plain = overhead_results["plain gRPC"]["throughput"].cpu_us_per_rpc()
+        mesh = overhead_results["gRPC+Envoy"]["throughput"].cpu_us_per_rpc()
+        ratio = mesh / plain
+        assert 1.6 <= ratio <= 7.0, f"mesh CPU tax {ratio:.1f}x"
+        return ratio
+
+    bench_assert(benchmark, check)
+
+
+def test_adn_beats_even_plain_grpc(overhead_results, benchmark):
+    def check():
+        """ADN removes not just the sidecars but the whole wrapped
+        stack, so it undercuts even meshless gRPC (consistent with
+        mRPC's result against gRPC)."""
+        plain = overhead_results["plain gRPC"]["latency"].latency.median_us()
+        adn = overhead_results["ADN+mRPC"]["latency"].latency.median_us()
+        assert adn < plain
+        return plain / adn
+
+    bench_assert(benchmark, check)
+
+
+def test_wire_bytes_overhead(overhead_results, benchmark):
+    def check():
+        """The wrapped stack sends several times more bytes for the same
+        application payloads."""
+        plain = overhead_results["plain gRPC"]["throughput"].notes[
+            "wire_bytes"
+        ]
+        adn = overhead_results["ADN+mRPC"]["throughput"].notes["wire_bytes"]
+        assert plain > 1.5 * adn
+        return plain / adn
+
+    bench_assert(benchmark, check)

@@ -1,0 +1,163 @@
+"""Ablation of the compiler optimizations (§5.2): early-drop reordering
+and parallelization grouping, plus element-level constant folding and
+predicate pushdown.
+
+The paper claims these rewrites are available *because* the DSL exposes
+element semantics; this bench quantifies each on a drop-heavy chain
+where reordering pays (an expensive payload element behind cheap
+droppers)."""
+
+import pytest
+
+from repro.compiler.compiler import AdnCompiler
+from repro.dsl import FunctionRegistry, load_stdlib
+from repro.dsl.ast_nodes import ChainDecl
+from repro.ir.optimizer import OptimizerOptions
+from repro.runtime import AdnMrpcStack
+from repro.runtime.message import reset_rpc_ids
+from repro.sim import ClosedLoopClient, Simulator, two_machine_cluster
+
+from bench_harness import SCHEMA, bench_assert, print_table
+
+#: expensive payload work behind two droppers — reordering the droppers
+#: ahead of it skips the compression for denied/faulted RPCs
+CHAIN = ("Encryption", "Acl", "Fault")
+
+VARIANTS = {
+    "all optimizations": OptimizerOptions(),
+    "no reorder": OptimizerOptions(reorder=False),
+    "no parallelize": OptimizerOptions(parallelize=False),
+    "no folding/pushdown": OptimizerOptions(
+        constant_folding=False, predicate_pushdown=False
+    ),
+    "none": OptimizerOptions(
+        constant_folding=False,
+        predicate_pushdown=False,
+        reorder=False,
+        parallelize=False,
+    ),
+}
+
+
+def run_variant(options, fuse=False) -> dict:
+    reset_rpc_ids()
+    registry = FunctionRegistry()
+    program = load_stdlib(schema=SCHEMA)
+    compiler = AdnCompiler(registry=registry, options=options)
+    decl = ChainDecl(src="A", dst="B", elements=CHAIN)
+    chain = compiler.compile_chain(decl, program, SCHEMA)
+    sim = Simulator()
+    cluster = two_machine_cluster(sim)
+    plan = None
+    if fuse:
+        from repro.control import PlacementRequest, solve_placement
+
+        plan = solve_placement(
+            PlacementRequest(chain=chain, schema=SCHEMA, fuse_segments=True)
+        )
+    stack = AdnMrpcStack(sim, cluster, chain, SCHEMA, registry, plan=plan)
+
+    def fields(rng, index):
+        return {
+            "payload": b"x" * 512,  # big enough that encryption costs
+            "username": "usr2" if rng.random() < 0.5 else "usr1",
+            "obj_id": index,
+        }
+
+    client = ClosedLoopClient(
+        sim,
+        stack.call,
+        concurrency=128,
+        total_rpcs=3000,
+        warmup_rpcs=300,
+        fields_fn=fields,
+    )
+    metrics = client.run()
+    metrics.cpu_busy_s = cluster.cpu_busy_by_machine()
+    return {
+        "order": chain.element_order,
+        "stages": chain.ir.stages,
+        "rate_krps": metrics.throughput_krps,
+        "cpu_us_per_rpc": metrics.cpu_us_per_rpc(),
+    }
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    results = {
+        label: run_variant(options) for label, options in VARIANTS.items()
+    }
+    # cross-element fusion (paper Q2) stacks on top of the other passes
+    results["all + fusion"] = run_variant(OptimizerOptions(), fuse=True)
+    return results
+
+
+def test_ablation_table(ablation, benchmark):
+    def report():
+        return print_table(
+            "Optimizer ablation (Encryption+ACL+Fault, 50% denials)",
+            rows=list(ablation),
+            columns=["rate_krps", "cpu_us_per_rpc"],
+            cell=lambda row, col: ablation[row][col],
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_reorder_moves_droppers_first(ablation, benchmark):
+    def check():
+        optimized = ablation["all optimizations"]["order"]
+        baseline = ablation["no reorder"]["order"]
+        assert baseline[0] == "Encryption"
+        assert optimized[0] in ("Acl", "Fault")
+        return optimized
+
+    bench_assert(benchmark, check)
+
+
+def test_reorder_improves_throughput(ablation, benchmark):
+    def check():
+        with_reorder = ablation["all optimizations"]["rate_krps"]
+        without = ablation["no reorder"]["rate_krps"]
+        assert with_reorder > without * 1.05, (with_reorder, without)
+        return with_reorder / without
+
+    bench_assert(benchmark, check)
+
+
+def test_reorder_cuts_cpu(ablation, benchmark):
+    def check():
+        with_reorder = ablation["all optimizations"]["cpu_us_per_rpc"]
+        without = ablation["no reorder"]["cpu_us_per_rpc"]
+        assert with_reorder < without
+        return without - with_reorder
+
+    bench_assert(benchmark, check)
+
+
+def test_droppers_share_a_parallel_stage(ablation, benchmark):
+    def check():
+        stages = ablation["all optimizations"]["stages"]
+        assert any(len(stage) >= 2 for stage in stages)
+
+    bench_assert(benchmark, check)
+
+
+def test_unoptimized_still_correct(ablation, benchmark):
+    def check():
+        # optimizations change cost, never results: every variant serves
+        # the full workload
+        for label, cells in ablation.items():
+            assert cells["rate_krps"] > 10, label
+
+    bench_assert(benchmark, check)
+
+
+def test_fusion_saves_dispatch(ablation, benchmark):
+    def check():
+        fused = ablation["all + fusion"]["cpu_us_per_rpc"]
+        unfused = ablation["all optimizations"]["cpu_us_per_rpc"]
+        assert fused < unfused
+        return unfused - fused
+
+    bench_assert(benchmark, check)

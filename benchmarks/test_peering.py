@@ -1,0 +1,72 @@
+"""Application peering (paper §7): translating directly between two
+ADNs' wire formats versus down-shifting to the standard stack between
+them.
+
+"Such 'application peering' not only removes one translation step but
+also eliminates the need to 'down-shift' application messages to IP and
+back."
+"""
+
+import pytest
+
+from repro.compiler.headers import plan_hop_headers
+from repro.runtime.gateway import peering_savings
+from repro.runtime.message import make_request
+
+from bench_harness import SCHEMA, bench_assert, compile_chain, print_table
+
+
+@pytest.fixture(scope="module")
+def savings():
+    # two ADN apps with different chains (hence different wire formats)
+    sender_chain = compile_chain(("LbKeyHash", "Acl"))
+    receiver_chain = compile_chain(("Logging", "Fault"))
+    sender_layout = plan_hop_headers(sender_chain.ir, SCHEMA, [0])[0].layout
+    receiver_layout = plan_hop_headers(receiver_chain.ir, SCHEMA, [0])[0].layout
+    message = make_request(
+        SCHEMA,
+        src="A.0",
+        dst="ext-service",
+        payload=b"x" * 64,
+        username="usr2",
+        obj_id=7,
+    )
+    return peering_savings(sender_layout, receiver_layout, SCHEMA, message)
+
+
+def test_peering_table(savings, benchmark):
+    def report():
+        return print_table(
+            "App peering vs down-shift (64-byte payload)",
+            rows=["peered (ADN->ADN)", "down-shift (via gRPC)"],
+            columns=["wire bytes", "cpu_us"],
+            cell=lambda row, col: {
+                ("peered (ADN->ADN)", "wire bytes"): savings["peered_bytes"],
+                ("peered (ADN->ADN)", "cpu_us"): savings["peered_cpu_us"],
+                ("down-shift (via gRPC)", "wire bytes"): savings[
+                    "downshift_bytes"
+                ],
+                ("down-shift (via gRPC)", "cpu_us"): savings[
+                    "downshift_cpu_us"
+                ],
+            }[(row, col)],
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_peering_saves_bytes(savings, benchmark):
+    def check():
+        assert savings["byte_ratio"] > 1.5
+        return savings["byte_ratio"]
+
+    bench_assert(benchmark, check)
+
+
+def test_peering_saves_cpu(savings, benchmark):
+    def check():
+        # no wrapped-stack parse/serialize in the middle
+        assert savings["cpu_ratio"] > 5.0
+        return savings["cpu_ratio"]
+
+    bench_assert(benchmark, check)

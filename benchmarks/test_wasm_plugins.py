@@ -1,0 +1,127 @@
+"""Mesh extensibility tax (§2): "the isolation mechanisms for safely
+running these plugins (e.g., Web Assembly) further drive up the
+overhead."
+
+Custom network functions in today's meshes run as WASM plugins inside
+the sidecar; this bench compares Envoy with built-in filters, Envoy with
+the same filters as WASM plugins, and ADN — where custom elements are
+compiled to native engine modules and pay no sandbox tax at all.
+"""
+
+import pytest
+
+from repro.baselines import EnvoyMeshStack
+from repro.dsl import FunctionRegistry, load_stdlib
+from repro.ir import analyze_element, build_element_ir
+from repro.runtime.message import reset_rpc_ids
+from repro.sim import ClosedLoopClient, Simulator, two_machine_cluster
+
+from bench_harness import (
+    SCHEMA,
+    THROUGHPUT_CONCURRENCY,
+    bench_assert,
+    print_table,
+    run_adn,
+)
+
+CHAIN = ("Logging", "Acl", "Fault")
+
+
+def run_envoy_variant(wasm: bool, mode: str):
+    reset_rpc_ids()
+    registry = FunctionRegistry()
+    program = load_stdlib(schema=SCHEMA)
+    irs = {}
+    for name in CHAIN:
+        ir = build_element_ir(program.elements[name])
+        analyze_element(ir, registry)
+        irs[name] = ir
+    sim = Simulator()
+    cluster = two_machine_cluster(sim)
+    stack = EnvoyMeshStack(
+        sim,
+        cluster,
+        SCHEMA,
+        client_filters=[irs["Logging"], irs["Fault"]],
+        server_filters=[irs["Acl"]],
+        registry=registry,
+        wasm_filters=2 if wasm else 0,  # the client-side pair as plugins
+    )
+    if mode == "throughput":
+        client = ClosedLoopClient(
+            sim,
+            stack.call,
+            concurrency=THROUGHPUT_CONCURRENCY,
+            total_rpcs=3000,
+            warmup_rpcs=300,
+        )
+    else:
+        client = ClosedLoopClient(sim, stack.call, concurrency=1, total_rpcs=300)
+    metrics = client.run()
+    metrics.cpu_busy_s = cluster.cpu_busy_by_machine()
+    return metrics
+
+
+@pytest.fixture(scope="module")
+def plugin_results():
+    return {
+        "Envoy built-in": {
+            "throughput": run_envoy_variant(False, "throughput"),
+            "latency": run_envoy_variant(False, "latency"),
+        },
+        "Envoy WASM plugins": {
+            "throughput": run_envoy_variant(True, "throughput"),
+            "latency": run_envoy_variant(True, "latency"),
+        },
+        "ADN native modules": {
+            "throughput": run_adn(CHAIN, "throughput"),
+            "latency": run_adn(CHAIN, "latency"),
+        },
+    }
+
+
+def test_wasm_plugin_table(plugin_results, benchmark):
+    def report():
+        return print_table(
+            "Custom network functions: plugin sandbox tax",
+            rows=list(plugin_results),
+            columns=["rate_krps", "median_us"],
+            cell=lambda row, col: {
+                "rate_krps": plugin_results[row][
+                    "throughput"
+                ].throughput_krps,
+                "median_us": plugin_results[row][
+                    "latency"
+                ].latency.median_us(),
+            }[col],
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_wasm_costs_more_than_builtin(plugin_results, benchmark):
+    def check():
+        builtin = plugin_results["Envoy built-in"]["throughput"]
+        wasm = plugin_results["Envoy WASM plugins"]["throughput"]
+        assert wasm.throughput_krps < builtin.throughput_krps
+        return builtin.throughput_krps / wasm.throughput_krps
+
+    bench_assert(benchmark, check)
+
+
+def test_adn_pays_no_sandbox_tax(plugin_results, benchmark):
+    def check():
+        """ADN's custom elements compile to native modules: the gap to
+        the WASM variant exceeds the gap to built-in filters."""
+        adn = plugin_results["ADN native modules"]["latency"].latency.median_us()
+        builtin = plugin_results["Envoy built-in"][
+            "latency"
+        ].latency.median_us()
+        wasm = plugin_results["Envoy WASM plugins"][
+            "latency"
+        ].latency.median_us()
+        assert wasm > builtin
+        assert wasm / adn > builtin / adn
+        return wasm / adn
+
+    bench_assert(benchmark, check)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: define an ADN in the DSL, compile it, inspect the
+generated per-platform code, and run RPCs through the simulated data
+plane.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AdnCompiler, FieldType, FunctionRegistry, RpcSchema
+from repro.dsl import load_stdlib
+from repro.dsl.ast_nodes import ChainDecl
+from repro.runtime import AdnMrpcStack
+from repro.sim import ClosedLoopClient, Simulator, two_machine_cluster
+
+
+def main() -> None:
+    # 1. The application's RPC schema: each RPC is a tuple of fields.
+    schema = RpcSchema.of(
+        "kv",
+        payload=FieldType.BYTES,
+        username=FieldType.STR,
+        obj_id=FieldType.INT,
+    )
+
+    # 2. The network program: the paper's evaluation chain — every RPC
+    #    is logged, access-controlled, and fault-injected. All three
+    #    elements come from the standard library (each is tens of lines
+    #    of SQL-like DSL; print one to see).
+    program = load_stdlib(["Logging", "Acl", "Fault"], schema=schema)
+    print("--- the Acl element, as the developer writes it ---")
+    from repro.dsl import stdlib_source
+
+    print(stdlib_source("Acl"))
+
+    # 3. Compile. The compiler lowers each element to an IR, analyzes
+    #    field usage, reorders/parallelizes where semantics allow, and
+    #    emits code for every platform that can host each element.
+    registry = FunctionRegistry()
+    compiler = AdnCompiler(registry=registry)
+    chain = compiler.compile_chain(
+        ChainDecl(src="A", dst="B", elements=("Logging", "Acl", "Fault")),
+        program,
+        schema,
+    )
+    print("--- compiler decisions ---")
+    print(f"optimized order : {' -> '.join(chain.element_order)}")
+    print(f"parallel stages : {chain.ir.stages}")
+    for name, compiled in chain.elements.items():
+        print(f"{name:8s} can run on: {', '.join(compiled.legal_backends())}")
+
+    print("\n--- a slice of the generated eBPF for Acl ---")
+    print(
+        "\n".join(
+            chain.elements["Acl"].artifact("ebpf").source.splitlines()[:12]
+        )
+    )
+
+    # 4. Run it: two simulated hosts, the client keeps 32 RPCs in
+    #    flight; the elements really execute (denials really abort).
+    sim = Simulator()
+    cluster = two_machine_cluster(sim)
+    stack = AdnMrpcStack(sim, cluster, chain, schema, registry)
+    client = ClosedLoopClient(
+        sim, stack.call, concurrency=32, total_rpcs=2000, warmup_rpcs=200
+    )
+    metrics = client.run()
+
+    print("\n--- results ---")
+    print(f"completed : {metrics.completed} RPCs")
+    print(f"aborted   : {metrics.aborted} (ACL denials + injected faults)")
+    print(f"rate      : {metrics.throughput_krps:.1f} krps")
+    print(f"median    : {metrics.latency.median_us():.1f} us")
+    print(f"p99       : {metrics.latency.percentile(99) * 1e6:.1f} us")
+
+    # 5. Peek at element state on the data plane: the logger's table.
+    logger_state = stack.processors[0].element_state("Logging")
+    print(f"log entries recorded: {len(logger_state.table('log_tab'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Comparison baselines: gRPC+Envoy service mesh, plain gRPC, and
+hand-written mRPC engine modules."""
+
+from .envoy import EnvoyMeshStack, EnvoySidecar
+from .grpc_stack import GrpcStack, tcp_wire_bytes
+from .hand_mrpc import (
+    HAND_MODULES,
+    RUST_LOC,
+    AclConfig,
+    AclRule,
+    FaultConfig,
+    HandAclModule,
+    HandFaultModule,
+    HandLoggingModule,
+    LoggingConfig,
+    hand_module_loc,
+)
+
+__all__ = [
+    "AclConfig",
+    "AclRule",
+    "EnvoyMeshStack",
+    "EnvoySidecar",
+    "FaultConfig",
+    "GrpcStack",
+    "HAND_MODULES",
+    "HandAclModule",
+    "HandFaultModule",
+    "HandLoggingModule",
+    "LoggingConfig",
+    "RUST_LOC",
+    "hand_module_loc",
+    "tcp_wire_bytes",
+]

@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check``   — parse + validate a DSL file, report element analyses;
+* ``fmt``     — pretty-print a DSL file in canonical form;
+* ``compile`` — compile and show the legality matrix or emitted code;
+* ``plan``    — solve placement for an app's chain and show the layout;
+* ``bench``   — quick simulated run of a chain on a chosen stack.
+
+The RPC schema is given as repeated ``--field name:type`` options
+(types: str, int, float, bool, bytes). A reasonable default schema
+(payload/username/obj_id) applies when none is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compiler.compiler import AdnCompiler
+from .control.placement import ClusterSpec, PlacementRequest, solve_placement
+from .dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib, parse
+from .dsl.ast_nodes import ChainDecl
+from .dsl.printer import print_program
+from .dsl.validator import validate_program
+from .errors import AdnError
+
+
+def _default_schema() -> RpcSchema:
+    return RpcSchema.of(
+        "cli",
+        payload=FieldType.BYTES,
+        username=FieldType.STR,
+        obj_id=FieldType.INT,
+    )
+
+
+def _schema_from_args(fields: Optional[List[str]]) -> RpcSchema:
+    if not fields:
+        return _default_schema()
+    schema = RpcSchema("cli")
+    for spec in fields:
+        name, _, type_name = spec.partition(":")
+        if not type_name:
+            raise AdnError(f"--field wants name:type, got {spec!r}")
+        schema.add(name, FieldType.from_keyword(type_name))
+    return schema
+
+
+def _load(path: str, schema: RpcSchema, include_stdlib: bool = True):
+    with open(path) as handle:
+        source = handle.read()
+    program = parse(source)
+    if include_stdlib:
+        program = load_stdlib().merged(program)
+    return validate_program(program, schema=schema)
+
+
+def cmd_check(args) -> int:
+    schema = _schema_from_args(args.field)
+    program = _load(args.file, schema, include_stdlib=not args.no_stdlib)
+    own = parse(open(args.file).read())
+    print(f"{args.file}: OK")
+    print(
+        f"  elements: {len(own.elements)}  filters: {len(own.filters)}  "
+        f"apps: {len(own.apps)}"
+    )
+    if args.analyze:
+        from .ir import analyze_element, build_element_ir
+
+        for name in own.elements:
+            analysis = analyze_element(
+                build_element_ir(program.elements[name])
+            )
+            flags = []
+            if analysis.can_drop:
+                flags.append("drops")
+            if analysis.can_multiply:
+                flags.append("fans-out")
+            if analysis.observable_effects:
+                flags.append("effects")
+            if not analysis.deterministic:
+                flags.append("nondeterministic")
+            print(
+                f"  {name}: reads={sorted(analysis.fields_read)} "
+                f"writes={sorted(analysis.fields_written)} "
+                f"[{', '.join(flags) or 'pure'}]"
+            )
+    return 0
+
+
+def cmd_fmt(args) -> int:
+    program = parse(open(args.file).read())
+    text = print_program(program)
+    if args.in_place:
+        with open(args.file, "w") as handle:
+            handle.write(text)
+        print(f"formatted {args.file}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_compile(args) -> int:
+    schema = _schema_from_args(args.field)
+    program = _load(args.file, schema)
+    own = parse(open(args.file).read())
+    compiler = AdnCompiler(registry=FunctionRegistry())
+    targets = list(own.elements) or list(program.elements)
+    if args.element:
+        targets = [args.element]
+    for name in targets:
+        if name not in program.elements:
+            print(f"unknown element {name!r}", file=sys.stderr)
+            return 1
+        compiled = compiler.compile_element(program.elements[name])
+        if args.emit:
+            artifact = compiled.artifact(args.emit)
+            print(f"// ==== {name} [{args.emit}] ====")
+            print(artifact.source)
+        else:
+            print(f"{name}:")
+            for backend, report in compiled.legality.items():
+                if report.legal:
+                    loc = compiled.artifacts[backend].loc
+                    print(f"  {backend:7s} OK   ({loc} generated lines)")
+                else:
+                    print(f"  {backend:7s} NO   {report.violations[0]}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    schema = _schema_from_args(args.field)
+    program = _load(args.file, schema)
+    own = parse(open(args.file).read())
+    apps = list(own.apps)
+    if not apps:
+        print("no app definition in the file", file=sys.stderr)
+        return 1
+    app_name = args.app or apps[0]
+    compiler = AdnCompiler(registry=FunctionRegistry())
+    compiled_app = compiler.compile_app(program, app_name, schema)
+    cluster = ClusterSpec(
+        smartnics=args.smartnics,
+        programmable_switch=args.switch,
+    )
+    for chain in compiled_app.chains:
+        plan = solve_placement(
+            PlacementRequest(
+                chain=chain,
+                schema=schema,
+                cluster=cluster,
+                strategy=args.strategy,
+                replicas=args.replicas,
+            )
+        )
+        print(f"chain {chain.decl.src} -> {chain.decl.dst} "
+              f"(strategy {args.strategy}):")
+        for segment in plan.segments:
+            replicas = (
+                f" x{segment.replicas}" if segment.replicas > 1 else ""
+            )
+            print(
+                f"  [{segment.platform.value}@{segment.machine}{replicas}] "
+                + ", ".join(segment.elements)
+            )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .baselines import EnvoyMeshStack, GrpcStack
+    from .ir import analyze_element, build_element_ir
+    from .runtime import AdnMrpcStack
+    from .runtime.message import reset_rpc_ids
+    from .sim import ClosedLoopClient, Simulator, two_machine_cluster
+
+    schema = _schema_from_args(args.field)
+    names = [name.strip() for name in args.chain.split(",") if name.strip()]
+    program = load_stdlib(schema=schema)
+    registry = FunctionRegistry()
+    reset_rpc_ids()
+    sim = Simulator()
+    cluster = two_machine_cluster(sim)
+    if args.system == "adn":
+        compiler = AdnCompiler(registry=registry)
+        chain = compiler.compile_chain(
+            ChainDecl(src="A", dst="B", elements=tuple(names)), program, schema
+        )
+        stack = AdnMrpcStack(sim, cluster, chain, schema, registry)
+    elif args.system == "envoy":
+        irs = []
+        for name in names:
+            ir = build_element_ir(program.elements[name])
+            analyze_element(ir, registry)
+            irs.append(ir)
+        stack = EnvoyMeshStack(
+            sim, cluster, schema, client_filters=irs, server_filters=[],
+            registry=registry,
+        )
+    else:  # plain grpc
+        stack = GrpcStack(sim, cluster, schema)
+    client = ClosedLoopClient(
+        sim,
+        stack.call,
+        concurrency=args.concurrency,
+        total_rpcs=args.rpcs,
+        warmup_rpcs=args.rpcs // 10,
+    )
+    metrics = client.run()
+    print(f"system      : {args.system}")
+    print(f"chain       : {' -> '.join(names) or '(none)'}")
+    print(f"concurrency : {args.concurrency}")
+    print(f"completed   : {metrics.completed} (aborted {metrics.aborted})")
+    print(f"rate        : {metrics.throughput_krps:.1f} krps")
+    print(f"median      : {metrics.latency.median_us():.1f} us")
+    print(f"p99         : {metrics.latency.percentile(99) * 1e6:.1f} us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Application Defined Networks — compiler and tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_fields(p):
+        p.add_argument(
+            "--field",
+            action="append",
+            metavar="NAME:TYPE",
+            help="RPC schema field (repeatable); default: "
+            "payload:bytes username:str obj_id:int",
+        )
+
+    check = sub.add_parser("check", help="parse and validate a DSL file")
+    check.add_argument("file")
+    check.add_argument("--analyze", action="store_true",
+                       help="print per-element analyses")
+    check.add_argument("--no-stdlib", action="store_true",
+                       help="do not merge the standard element library")
+    add_fields(check)
+    check.set_defaults(func=cmd_check)
+
+    fmt = sub.add_parser("fmt", help="pretty-print a DSL file")
+    fmt.add_argument("file")
+    fmt.add_argument("--in-place", action="store_true")
+    fmt.set_defaults(func=cmd_fmt)
+
+    compile_ = sub.add_parser("compile", help="compile elements")
+    compile_.add_argument("file")
+    compile_.add_argument("--element", help="compile only this element")
+    compile_.add_argument(
+        "--emit", choices=["python", "ebpf", "p4", "wasm"],
+        help="print generated source for this backend",
+    )
+    add_fields(compile_)
+    compile_.set_defaults(func=cmd_compile)
+
+    plan = sub.add_parser("plan", help="solve placement for an app")
+    plan.add_argument("file")
+    plan.add_argument("--app")
+    plan.add_argument(
+        "--strategy",
+        choices=["software", "inapp", "offload", "scaleout"],
+        default="software",
+    )
+    plan.add_argument("--smartnics", action="store_true")
+    plan.add_argument("--switch", action="store_true")
+    plan.add_argument("--replicas", type=int, default=1)
+    add_fields(plan)
+    plan.set_defaults(func=cmd_plan)
+
+    bench = sub.add_parser("bench", help="quick simulated run")
+    bench.add_argument(
+        "--chain", default="Logging,Acl,Fault",
+        help="comma-separated stdlib elements",
+    )
+    bench.add_argument(
+        "--system", choices=["adn", "envoy", "grpc"], default="adn"
+    )
+    bench.add_argument("--concurrency", type=int, default=128)
+    bench.add_argument("--rpcs", type=int, default=4000)
+    add_fields(bench)
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except AdnError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Code-generation backends: python (executable, mRPC-style), ebpf, p4,
+wasm. ``make_backends`` builds one of each sharing a function registry."""
+
+from typing import Dict
+
+from ...dsl.functions import DEFAULT_REGISTRY, FunctionRegistry
+from .base import Backend, CompiledArtifact, LegalityReport
+from .ebpf_backend import EbpfBackend
+from .p4_backend import P4Backend
+from .python_backend import PythonBackend
+from .wasm_backend import WasmBackend
+
+
+def make_backends(registry: FunctionRegistry = None) -> Dict[str, Backend]:
+    """All backends keyed by name."""
+    registry = registry or DEFAULT_REGISTRY
+    backends = [
+        PythonBackend(registry),
+        EbpfBackend(registry),
+        P4Backend(registry),
+        WasmBackend(registry),
+    ]
+    return {backend.name: backend for backend in backends}
+
+
+__all__ = [
+    "Backend",
+    "CompiledArtifact",
+    "EbpfBackend",
+    "LegalityReport",
+    "P4Backend",
+    "PythonBackend",
+    "WasmBackend",
+    "make_backends",
+]

@@ -1,0 +1,78 @@
+"""Backend interface and compiled-artifact types.
+
+A backend turns one :class:`~repro.ir.nodes.ElementIR` into platform
+code. Backends must also *refuse* elements their platform cannot host —
+the placement solver treats those refusals as hard constraints (paper §4
+Q2/Q3: not every element can run in eBPF or on a switch).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ...dsl.functions import FunctionRegistry
+from ...errors import BackendError
+from ...ir.nodes import ElementIR
+
+
+@dataclass
+class CompiledArtifact:
+    """The output of compiling one element for one backend."""
+
+    element: str
+    backend: str
+    source: str
+    #: non-blank generated source lines — the paper's LoC comparison
+    loc: int = 0
+    #: IR operation count — proxy for per-RPC work of the generated code
+    op_count: int = 0
+    #: for executable backends: factory() -> object with .process(row, kind)
+    factory: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if not self.loc:
+            self.loc = sum(
+                1 for line in self.source.splitlines() if line.strip()
+            )
+
+
+@dataclass
+class LegalityReport:
+    """Why an element can or cannot run on a platform."""
+
+    element: str
+    backend: str
+    violations: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def legal(self) -> bool:
+        return not self.violations
+
+
+class Backend(abc.ABC):
+    """Code generator for one platform family."""
+
+    name: str = "abstract"
+
+    def __init__(self, registry: FunctionRegistry):
+        self.registry = registry
+
+    @abc.abstractmethod
+    def check(self, element: ElementIR) -> LegalityReport:
+        """Static legality check; does not raise."""
+
+    @abc.abstractmethod
+    def emit(self, element: ElementIR) -> CompiledArtifact:
+        """Generate code. Raises :class:`BackendError` when illegal."""
+
+    def _require_legal(self, element: ElementIR) -> None:
+        report = self.check(element)
+        if not report.legal:
+            raise BackendError(
+                f"element {element.name!r} cannot run on {self.name}: "
+                + "; ".join(report.violations),
+                reasons=report.violations,
+            )

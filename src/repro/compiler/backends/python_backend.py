@@ -1,0 +1,466 @@
+"""Executable Python backend — stands in for the paper's Rust mRPC
+engine code generation.
+
+The backend emits real Python source (returned in the artifact for
+inspection and LoC accounting) and ``exec``\\ s it to obtain a module
+factory. Generated modules satisfy the same contract as
+:class:`repro.ir.interp.ElementInstance` — ``process(row, kind) ->
+[rows]`` — and are differential-tested against the interpreter.
+
+Unlike the interpreter, generated code accesses fields directly (no
+generic operator dispatch), mirroring how the real compiler specializes
+Rust code per element. The residual genericity — output tuples are
+materialized as fresh dicts per emit, join rows via table iteration — is
+what produces the paper's 3–12% gap versus hand-written modules, which
+skip materialization entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...dsl.ast_nodes import (
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    UnaryOp,
+    VarRef,
+)
+from ...errors import BackendError
+from ...ir.nodes import (
+    AssignVar,
+    DeleteRows,
+    ElementIR,
+    EmitRows,
+    FilterRows,
+    InsertLiterals,
+    InsertRows,
+    JoinState,
+    Project,
+    Scan,
+    StatementIR,
+    UpdateRows,
+)
+from ...state.table import StateStore
+from .base import Backend, CompiledArtifact, LegalityReport
+
+_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "==": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "and": "and",
+    "or": "or",
+}
+
+
+class _ExprCompiler:
+    """Compiles DSL expressions to Python source fragments.
+
+    ``joins`` maps a joined table name to the local variable holding its
+    current row dict.
+    """
+
+    def __init__(self, row_var: str, joins: Dict[str, str]):
+        self.row_var = row_var
+        self.joins = joins
+
+    def compile(self, expr: Expr) -> str:
+        if isinstance(expr, Literal):
+            return repr(expr.value)
+        if isinstance(expr, VarRef):
+            return f"_vars[{expr.name!r}]"
+        if isinstance(expr, ColumnRef):
+            if expr.table in (None, "input"):
+                return f"{self.row_var}[{expr.name!r}]"
+            join_var = self.joins.get(expr.table)
+            if join_var is None:
+                raise BackendError(
+                    f"column {expr} referenced outside its join"
+                )
+            return f"{join_var}[{expr.name!r}]"
+        if isinstance(expr, FuncCall):
+            return self._compile_call(expr)
+        if isinstance(expr, BinaryOp):
+            op = _BINOPS[expr.op]
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                # SQL semantics: comparisons with NULL are false
+                return (
+                    f"_cmp({left}, {right}, {expr.op!r})"
+                )
+            return f"({left} {op} {right})"
+        if isinstance(expr, UnaryOp):
+            operand = self.compile(expr.operand)
+            if expr.op == "not":
+                return f"(not _truthy({operand}))"
+            return f"(-{operand})"
+        if isinstance(expr, CaseExpr):
+            return self._compile_case(expr)
+        raise BackendError(f"cannot compile expression {expr!r}")
+
+    def _compile_call(self, call: FuncCall) -> str:
+        if call.name == "count":
+            table = call.args[0]
+            assert isinstance(table, ColumnRef)
+            return f"len(_tables[{table.name!r}])"
+        if call.name == "contains":
+            table = call.args[0]
+            assert isinstance(table, ColumnRef)
+            key = self.compile(call.args[1])
+            return f"_tables[{table.name!r}].contains_key({key})"
+        if call.name in ("sum_of", "min_of", "max_of", "avg_of"):
+            table = call.args[0]
+            column = call.args[1]
+            assert isinstance(table, ColumnRef)
+            assert isinstance(column, ColumnRef)
+            return (
+                f"_agg({call.name!r}, _tables[{table.name!r}], "
+                f"{column.name!r})"
+            )
+        args = ", ".join(self.compile(arg) for arg in call.args)
+        return f"_f_{call.name}({args})"
+
+    def _compile_case(self, expr: CaseExpr) -> str:
+        parts: List[str] = []
+        for condition, value in expr.whens:
+            parts.append(
+                f"{self.compile(value)} if _truthy({self.compile(condition)})"
+            )
+        default = (
+            self.compile(expr.default) if expr.default is not None else "None"
+        )
+        chained = default
+        for part in reversed(parts):
+            chained = f"({part} else {chained})"
+        return chained
+
+
+class PythonBackend(Backend):
+    """Generates executable Python modules from element IR."""
+
+    name = "python"
+
+    def check(self, element: ElementIR) -> LegalityReport:
+        # software platforms host anything the IR can express
+        return LegalityReport(element=element.name, backend=self.name)
+
+    def emit(self, element: ElementIR) -> CompiledArtifact:
+        self._require_legal(element)
+        source = self._generate_source(element)
+        op_count = sum(
+            element.analysis.handler_ops(kind) if element.analysis else 0
+            for kind in ("request", "response")
+        )
+        artifact = CompiledArtifact(
+            element=element.name,
+            backend=self.name,
+            source=source,
+            op_count=op_count,
+        )
+        artifact.factory = self._make_factory(element, source)
+        return artifact
+
+    # -- factory ---------------------------------------------------------
+
+    def _make_factory(self, element: ElementIR, source: str):
+        registry = self.registry
+
+        def factory(on_func_call=None):
+            from ...ir.expr_utils import run_column_aggregate
+
+            namespace: Dict[str, object] = {
+                "_truthy": _truthy,
+                "_cmp": _cmp,
+                "_agg": run_column_aggregate,
+            }
+            for func_name in _used_functions(element):
+                spec = registry.get(func_name)
+                if spec.impl is None:
+                    continue
+                namespace[f"_f_{func_name}"] = _wrap_func(spec, on_func_call)
+            exec(compile(source, f"<adn:{element.name}>", "exec"), namespace)
+            module_cls = namespace[f"Module_{element.name}"]
+            initial_vars = {d.name: d.init.value for d in element.vars}
+            state = StateStore(element.states, initial_vars)
+            instance = module_cls(state.tables, state.vars)  # type: ignore[operator]
+            instance.state = state
+            instance.run_init()
+            return instance
+
+        return factory
+
+    # -- code generation -----------------------------------------------------
+
+    def _generate_source(self, element: ElementIR) -> str:
+        writer = _Writer()
+        writer.line(f"class Module_{element.name}:")
+        with writer.indent():
+            writer.line(f"NAME = {element.name!r}")
+            writer.line("def __init__(self, tables, vars):")
+            with writer.indent():
+                writer.line("self.tables = tables")
+                writer.line("self.vars = vars")
+            self._generate_init(element, writer)
+            for kind in ("request", "response"):
+                handler = element.handlers.get(kind)
+                writer.line(f"def on_{kind}(self, row):")
+                with writer.indent():
+                    writer.line("_tables = self.tables")
+                    writer.line("_vars = self.vars")
+                    writer.line("_emitted = []")
+                    if handler is None:
+                        writer.line("_emitted.append(dict(row))")
+                    else:
+                        for index, stmt in enumerate(handler.statements):
+                            writer.line(f"# statement {index}")
+                            self._generate_statement(stmt, writer)
+                    writer.line("return _emitted")
+            writer.line("def process(self, row, kind):")
+            with writer.indent():
+                writer.line("if kind == 'request':")
+                with writer.indent():
+                    writer.line("return self.on_request(row)")
+                writer.line("return self.on_response(row)")
+        return writer.text()
+
+    def _generate_init(self, element: ElementIR, writer: "_Writer") -> None:
+        writer.line("def run_init(self):")
+        with writer.indent():
+            writer.line("_tables = self.tables")
+            writer.line("_vars = self.vars")
+            emitted_any = False
+            for stmt in element.init:
+                for op in stmt.ops:
+                    if isinstance(op, InsertLiterals):
+                        for row_values in op.rows:
+                            writer.line(
+                                f"_tables[{op.table!r}].insert_values("
+                                f"{list(row_values)!r})"
+                            )
+                        emitted_any = True
+                    elif isinstance(op, AssignVar):
+                        compiler = _ExprCompiler("_no_row", {})
+                        guard = (
+                            f"if _truthy({compiler.compile(op.where)}): "
+                            if op.where is not None
+                            else ""
+                        )
+                        writer.line(
+                            f"{guard}_vars[{op.var!r}] = "
+                            f"{compiler.compile(op.expr)}"
+                        )
+                        emitted_any = True
+                    else:
+                        raise BackendError(
+                            f"unsupported init op {op!r} in {element.name!r}"
+                        )
+            if not emitted_any:
+                writer.line("pass")
+
+    def _generate_statement(self, stmt: StatementIR, writer: "_Writer") -> None:
+        ops = list(stmt.ops)
+        if ops and isinstance(ops[0], Scan):
+            self._generate_pipeline(ops, writer)
+            return
+        # state-only statements
+        for op in ops:
+            if isinstance(op, InsertLiterals):
+                for row_values in op.rows:
+                    writer.line(
+                        f"_tables[{op.table!r}].insert_values({list(row_values)!r})"
+                    )
+            elif isinstance(op, UpdateRows):
+                self._generate_update(op, writer)
+            elif isinstance(op, DeleteRows):
+                self._generate_delete(op, writer)
+            elif isinstance(op, AssignVar):
+                self._generate_assign(op, writer)
+            else:
+                raise BackendError(f"unexpected op {op!r} outside pipeline")
+
+    def _generate_pipeline(self, ops: List[object], writer: "_Writer") -> None:
+        """Scan → joins/filters → project → emit/insert as nested loops.
+
+        Each join opens a ``for`` loop over the state table with an inline
+        predicate guard; each filter opens an ``if`` block; the terminal
+        op appends to ``_emitted`` or inserts into a table at the current
+        nesting depth.
+        """
+        joins: Dict[str, str] = {}
+        compiler = _ExprCompiler("row", joins)
+        join_index = 0
+        indents = 0
+        for op in ops[1:]:
+            prefix = "    " * indents
+            if isinstance(op, JoinState):
+                var = f"_j{join_index}"
+                join_index += 1
+                joins[op.table] = var
+                writer.line(f"{prefix}for {var} in _tables[{op.table!r}].rows():")
+                indents += 1
+                writer.line(
+                    "    " * indents
+                    + f"if not _truthy({compiler.compile(op.on)}): continue"
+                )
+            elif isinstance(op, FilterRows):
+                writer.line(
+                    f"{prefix}if _truthy({compiler.compile(op.predicate)}):"
+                )
+                indents += 1
+            elif isinstance(op, Project):
+                projection = self._projection_source(op, compiler, joins)
+                writer.line(f"{prefix}_out = {projection}")
+            elif isinstance(op, EmitRows):
+                writer.line(f"{prefix}_emitted.append(_out)")
+            elif isinstance(op, InsertRows):
+                writer.line(f"{prefix}_tables[{op.table!r}].insert(_out)")
+            else:
+                raise BackendError(f"unexpected op {op!r} in pipeline")
+
+    def _projection_source(
+        self, op: Project, compiler: _ExprCompiler, joins: Dict[str, str]
+    ) -> str:
+        parts: List[str] = []
+        if op.keep_input:
+            parts.append("**row")
+        for table in op.star_tables:
+            join_var = joins.get(table)
+            if join_var is None:
+                raise BackendError(f"star over unjoined table {table!r}")
+            parts.append(f"**{join_var}")
+        for name, expr in op.items:
+            parts.append(f"{name!r}: {compiler.compile(expr)}")
+        return "{" + ", ".join(parts) + "}"
+
+    def _generate_update(self, op: UpdateRows, writer: "_Writer") -> None:
+        joins = {op.table: "_srow"}
+        compiler = _ExprCompiler("row", joins)
+        where = (
+            compiler.compile(op.where) if op.where is not None else "True"
+        )
+        assignments = ", ".join(
+            f"{col!r}: {compiler.compile(expr)}" for col, expr in op.assignments
+        )
+        writer.line(
+            f"_tables[{op.table!r}].update_where("
+            f"lambda _srow: _truthy({where}), "
+            f"lambda _srow: {{{assignments}}})"
+        )
+
+    def _generate_delete(self, op: DeleteRows, writer: "_Writer") -> None:
+        joins = {op.table: "_srow"}
+        compiler = _ExprCompiler("row", joins)
+        where = (
+            compiler.compile(op.where) if op.where is not None else "True"
+        )
+        writer.line(
+            f"_tables[{op.table!r}].delete_where("
+            f"lambda _srow: _truthy({where}))"
+        )
+
+    def _generate_assign(self, op: AssignVar, writer: "_Writer") -> None:
+        compiler = _ExprCompiler("row", {})
+        value = compiler.compile(op.expr)
+        if op.where is not None:
+            writer.line(f"if _truthy({compiler.compile(op.where)}):")
+            writer.line(f"    _vars[{op.var!r}] = {value}")
+        else:
+            writer.line(f"_vars[{op.var!r}] = {value}")
+
+
+# -- runtime helpers shared with generated code ------------------------------
+
+
+def _truthy(value: object) -> bool:
+    if value is None:
+        return False
+    return bool(value)
+
+
+def _cmp(left: object, right: object, op: str) -> bool:
+    if left is None or right is None:
+        return False
+    return {
+        "==": left == right,
+        "!=": left != right,
+        "<": left < right,
+        "<=": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+    }[op]
+
+
+def _wrap_func(spec, on_func_call):
+    """Wrap a registry function so the cost hook sees each call."""
+    if on_func_call is None:
+        return spec.impl
+
+    def wrapped(*args):
+        result = spec.impl(*args)
+        size = 0
+        if spec.payload_op and args and isinstance(args[0], (bytes, str)):
+            size = len(args[0])
+        on_func_call(spec, size)
+        return result
+
+    return wrapped
+
+
+def _used_functions(element: ElementIR) -> List[str]:
+    names = set()
+    for kind in element.handlers:
+        analysis = element.analysis
+        if analysis is not None and kind in analysis.handlers:
+            names |= analysis.handlers[kind].functions
+    return sorted(names)
+
+
+class _Writer:
+    """Tiny indented-source writer."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._depth = 0
+
+    def line(self, text: str) -> None:
+        self._lines.append("    " * self._depth + text)
+
+    def pop_line(self) -> str:
+        return self._lines.pop()
+
+    def rewrite_last_as_guard(self) -> None:  # kept for API symmetry
+        pass
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def indent(self) -> "_IndentContext":
+        return _IndentContext(self)
+
+    def indented_block(self, extra: int) -> "_IndentContext":
+        return _IndentContext(self, extra)
+
+
+class _IndentContext:
+    def __init__(self, writer: _Writer, extra: int = 1):
+        self.writer = writer
+        self.extra = extra
+
+    def __enter__(self) -> "_IndentContext":
+        self.writer._depth += self.extra
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.writer._depth -= self.extra

@@ -1,0 +1,235 @@
+"""The ADN compiler: DSL source → optimized IR → per-platform artifacts.
+
+This is the control plane's compilation half (paper Figure 3): it takes
+the developer's program (elements + app spec), lowers and optimizes each
+chain, determines which platforms can host each element, and generates
+code for every legal platform. The runtime controller then *places*
+elements using the legality matrix and resource availability
+(:mod:`repro.control.placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.ast_nodes import AppDef, ChainDecl, ElementDef, FilterDef, Program
+from ..dsl.functions import DEFAULT_REGISTRY, FunctionRegistry
+from ..dsl.parser import parse
+from ..dsl.schema import RpcSchema
+from ..dsl.stdlib import load_stdlib
+from ..dsl.validator import validate_program
+from ..errors import CompileError
+from ..ir.analysis import ElementAnalysis, analyze_element
+from ..ir.builder import build_element_ir
+from ..ir.nodes import ChainIR, ElementIR
+from ..ir.optimizer import ChainContext, OptimizerOptions, optimize_chain
+from .backends import Backend, CompiledArtifact, LegalityReport, make_backends
+
+
+@dataclass
+class CompiledElement:
+    """One element compiled for every platform that can host it."""
+
+    name: str
+    ir: ElementIR
+    artifacts: Dict[str, CompiledArtifact] = field(default_factory=dict)
+    legality: Dict[str, LegalityReport] = field(default_factory=dict)
+    dsl_loc: int = 0
+
+    @property
+    def analysis(self) -> ElementAnalysis:
+        assert self.ir.analysis is not None
+        return self.ir.analysis  # type: ignore[return-value]
+
+    def legal_backends(self) -> List[str]:
+        return [name for name, report in self.legality.items() if report.legal]
+
+    def artifact(self, backend: str) -> CompiledArtifact:
+        try:
+            return self.artifacts[backend]
+        except KeyError:
+            report = self.legality.get(backend)
+            reasons = report.violations if report else ["backend unknown"]
+            raise CompileError(
+                f"element {self.name!r} has no {backend!r} artifact: "
+                + "; ".join(reasons)
+            ) from None
+
+
+@dataclass
+class CompiledChain:
+    """An optimized chain plus its elements' compiled artifacts."""
+
+    decl: ChainDecl
+    ir: ChainIR
+    elements: Dict[str, CompiledElement]
+    filters: Dict[str, FilterDef] = field(default_factory=dict)
+
+    @property
+    def element_order(self) -> Tuple[str, ...]:
+        return self.ir.element_names
+
+    def analyses(self) -> Dict[str, ElementAnalysis]:
+        return {name: ce.analysis for name, ce in self.elements.items()}
+
+
+@dataclass
+class CompiledApp:
+    """Everything compiled for one app: all chains, ready for placement."""
+
+    app: AppDef
+    schema: RpcSchema
+    chains: List[CompiledChain] = field(default_factory=list)
+
+    def chain(self, src: str, dst: str) -> CompiledChain:
+        for chain in self.chains:
+            if chain.decl.src == src and chain.decl.dst == dst:
+                return chain
+        raise KeyError(f"no chain {src} -> {dst}")
+
+
+class AdnCompiler:
+    """Compiles validated programs. Reusable across apps; holds backends
+    and optimization options."""
+
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        options: Optional[OptimizerOptions] = None,
+    ):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.options = options or OptimizerOptions()
+        self.backends: Dict[str, Backend] = make_backends(self.registry)
+
+    # -- element ----------------------------------------------------------
+
+    def compile_element(
+        self, element: ElementDef, dsl_loc: int = 0
+    ) -> CompiledElement:
+        """Lower, analyze, and emit one element for every legal backend."""
+        ir = build_element_ir(element)
+        analyze_element(ir, self.registry)
+        compiled = CompiledElement(name=element.name, ir=ir, dsl_loc=dsl_loc)
+        for backend_name, backend in self.backends.items():
+            report = backend.check(ir)
+            compiled.legality[backend_name] = report
+            if report.legal:
+                compiled.artifacts[backend_name] = backend.emit(ir)
+        return compiled
+
+    # -- chain --------------------------------------------------------------
+
+    def compile_chain(
+        self,
+        decl: ChainDecl,
+        program: Program,
+        schema: RpcSchema,
+        app_name: str = "app",
+    ) -> CompiledChain:
+        """Optimize and compile one chain of a validated program."""
+        element_irs: List[ElementIR] = []
+        filters: Dict[str, FilterDef] = {}
+        for name in decl.elements:
+            if name in program.filters:
+                filters[name] = program.filters[name]
+                continue
+            if name not in program.elements:
+                raise CompileError(f"chain references unknown element {name!r}")
+            element_irs.append(build_element_ir(program.elements[name]))
+        context = ChainContext(
+            app=app_name,
+            src=decl.src,
+            dst=decl.dst,
+            pinned_pairs=self._pinned_pairs(program, app_name, decl),
+            registry=self.registry,
+        )
+        chain_ir = optimize_chain(element_irs, context, self.options)
+        compiled_elements: Dict[str, CompiledElement] = {}
+        for element_ir in chain_ir.elements:
+            # re-emit from the optimized IR so artifacts reflect passes
+            compiled = CompiledElement(name=element_ir.name, ir=element_ir)
+            for backend_name, backend in self.backends.items():
+                report = backend.check(element_ir)
+                compiled.legality[backend_name] = report
+                if report.legal:
+                    compiled.artifacts[backend_name] = backend.emit(element_ir)
+            compiled_elements[element_ir.name] = compiled
+        return CompiledChain(
+            decl=decl,
+            ir=chain_ir,
+            elements=compiled_elements,
+            filters=filters,
+        )
+
+    def _pinned_pairs(
+        self, program: Program, app_name: str, decl: ChainDecl
+    ) -> Tuple[Tuple[str, str], ...]:
+        app = program.apps.get(app_name)
+        if app is None:
+            return ()
+        pairs: List[Tuple[str, str]] = []
+        for constraint in app.constraints:
+            if constraint.kind == "before":
+                pairs.append((constraint.args[0], constraint.args[1]))
+            elif constraint.kind == "after":
+                pairs.append((constraint.args[1], constraint.args[0]))
+        return tuple(pairs)
+
+    # -- app ------------------------------------------------------------------
+
+    def compile_app(
+        self, program: Program, app_name: str, schema: RpcSchema
+    ) -> CompiledApp:
+        """Compile every chain of an app."""
+        if app_name not in program.apps:
+            raise CompileError(f"unknown app {app_name!r}")
+        app = program.apps[app_name]
+        compiled = CompiledApp(app=app, schema=schema)
+        for decl in app.chains:
+            compiled.chains.append(
+                self.compile_chain(decl, program, schema, app_name)
+            )
+        return compiled
+
+    # -- convenience -----------------------------------------------------------
+
+    def compile_source(
+        self,
+        source: str,
+        schema: RpcSchema,
+        app_name: Optional[str] = None,
+        include_stdlib: bool = True,
+    ) -> CompiledApp:
+        """Parse, validate, and compile DSL source in one call.
+
+        ``include_stdlib`` merges the standard element library so apps can
+        chain stdlib elements without redefining them.
+        """
+        program = parse(source)
+        if include_stdlib:
+            program = load_stdlib().merged(program)
+        program = validate_program(program, schema=schema, registry=self.registry)
+        if app_name is None:
+            if len(program.apps) != 1:
+                raise CompileError(
+                    "source must define exactly one app (or pass app_name)"
+                )
+            app_name = next(iter(program.apps))
+        return self.compile_app(program, app_name, schema)
+
+
+def compile_elements(
+    names: Sequence[str],
+    registry: Optional[FunctionRegistry] = None,
+    options: Optional[OptimizerOptions] = None,
+) -> Dict[str, CompiledElement]:
+    """Compile stdlib elements by name (helper used by tests/benches)."""
+    from ..dsl.stdlib import stdlib_loc
+
+    compiler = AdnCompiler(registry=registry, options=options)
+    program = load_stdlib(list(names))
+    return {
+        name: compiler.compile_element(program.elements[name], stdlib_loc(name))
+        for name in names
+    }

@@ -1,0 +1,42 @@
+"""Control plane: mini cluster manager, the ADN controller, placement
+solver, and autoscaler."""
+
+from .controller import AdnController, InstalledChain, ReconcileRecord
+from .k8s import (
+    ADDED,
+    DELETED,
+    KIND_ADN_CONFIG,
+    KIND_DEPLOYMENT,
+    KIND_NODE,
+    MODIFIED,
+    MiniKube,
+    ResourceObject,
+)
+from .placement import (
+    ClusterSpec,
+    PlacementRequest,
+    PlacementSolver,
+    solve_placement,
+)
+from .scaling import Autoscaler, AutoscalerConfig, ScalingEvent
+
+__all__ = [
+    "ADDED",
+    "AdnController",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClusterSpec",
+    "DELETED",
+    "InstalledChain",
+    "KIND_ADN_CONFIG",
+    "KIND_DEPLOYMENT",
+    "KIND_NODE",
+    "MODIFIED",
+    "MiniKube",
+    "PlacementRequest",
+    "PlacementSolver",
+    "ReconcileRecord",
+    "ResourceObject",
+    "ScalingEvent",
+    "solve_placement",
+]

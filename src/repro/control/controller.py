@@ -1,0 +1,276 @@
+"""The ADN runtime controller (paper Figure 3, §5.2).
+
+A logically centralized component that:
+
+* watches the cluster manager for ``ADNConfig`` (the DSL program) and
+  ``Deployment`` (service replica sets) changes;
+* compiles the program and solves placement for every chain;
+* installs/updates data-plane processors — pushing replica sets into
+  load-balancer state tables, and hot-swapping element code while
+  preserving element state (the state/code decoupling of §5.2).
+
+The controller is deliberately synchronous: reconciliation runs to
+completion on each watch event, which is the level-triggered model real
+operators use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.compiler import AdnCompiler, CompiledApp, CompiledChain
+from ..dsl.parser import parse
+from ..dsl.schema import RpcSchema
+from ..dsl.stdlib import load_stdlib
+from ..dsl.validator import validate_program
+from ..errors import AdnError, ControlPlaneError
+from ..runtime.mrpc import AdnMrpcStack
+from ..runtime.processor import PlacementPlan
+from .k8s import (
+    DELETED,
+    KIND_ADN_CONFIG,
+    KIND_DEPLOYMENT,
+    MiniKube,
+    ResourceObject,
+)
+from .placement import ClusterSpec, PlacementRequest, solve_placement
+
+
+@dataclass
+class InstalledChain:
+    """A chain the controller currently manages on the data plane."""
+
+    chain: CompiledChain
+    plan: PlacementPlan
+    stack: Optional[AdnMrpcStack] = None
+
+
+@dataclass
+class ReconcileRecord:
+    """Audit trail entry for one reconciliation."""
+
+    generation: int
+    trigger: str
+    actions: List[str] = field(default_factory=list)
+
+
+class AdnController:
+    """Watches the cluster manager and keeps the data plane in sync."""
+
+    def __init__(
+        self,
+        kube: MiniKube,
+        schema: RpcSchema,
+        cluster_spec: Optional[ClusterSpec] = None,
+        compiler: Optional[AdnCompiler] = None,
+        strategy: str = "software",
+    ):
+        self.kube = kube
+        self.schema = schema
+        self.cluster_spec = cluster_spec or ClusterSpec()
+        self.compiler = compiler or AdnCompiler()
+        self.strategy = strategy
+        self.generation = 0
+        self.compiled: Optional[CompiledApp] = None
+        self.installed: Dict[Tuple[str, str], InstalledChain] = {}
+        self.history: List[ReconcileRecord] = []
+        self._unsubscribe = kube.watch(
+            self._on_event, kinds=[KIND_ADN_CONFIG, KIND_DEPLOYMENT]
+        )
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    # -- watch handling ------------------------------------------------------
+
+    def _on_event(self, event: str, obj: ResourceObject) -> None:
+        trigger = f"{event} {obj.kind}/{obj.name}"
+        if obj.kind == KIND_ADN_CONFIG:
+            if event == DELETED:
+                self.compiled = None
+                self.installed.clear()
+                self._record(trigger, ["uninstalled all chains"])
+                return
+            self._reconcile_config(obj, trigger)
+        elif obj.kind == KIND_DEPLOYMENT:
+            self._reconcile_deployment(obj, trigger)
+
+    def _reconcile_config(self, obj: ResourceObject, trigger: str) -> None:
+        try:
+            self._reconcile_config_inner(obj, trigger)
+        except AdnError as error:
+            # a bad program must not take down the controller or the
+            # running data plane: record the failure, keep serving the
+            # last good configuration
+            self._record(trigger, [f"REJECTED: {error}"])
+
+    def _reconcile_config_inner(
+        self, obj: ResourceObject, trigger: str
+    ) -> None:
+        source = str(obj.spec["program"])
+        app_name = str(obj.spec["app"])
+        if "strategy" in obj.spec:
+            self.strategy = str(obj.spec["strategy"])
+        program = load_stdlib().merged(parse(source))
+        program = validate_program(
+            program, schema=self.schema, registry=self.compiler.registry
+        )
+        compiled = self.compiler.compile_app(program, app_name, self.schema)
+        self.compiled = compiled
+        actions: List[str] = []
+        for chain in compiled.chains:
+            plan = self._solve(chain)
+            key = (chain.decl.src, chain.decl.dst)
+            previous = self.installed.get(key)
+            self.installed[key] = InstalledChain(chain=chain, plan=plan)
+            if previous is not None and previous.stack is not None:
+                self._hot_update(previous, self.installed[key])
+                actions.append(
+                    f"hot-updated chain {key[0]}->{key[1]} "
+                    f"({len(chain.element_order)} elements)"
+                )
+            else:
+                actions.append(
+                    f"installed chain {key[0]}->{key[1]}: "
+                    f"{', '.join(chain.element_order)}"
+                )
+        self._push_endpoints(actions)
+        self._record(trigger, actions)
+
+    def _reconcile_deployment(self, obj: ResourceObject, trigger: str) -> None:
+        actions: List[str] = []
+        self._push_endpoints(actions)
+        self._record(trigger, actions)
+
+    def _record(self, trigger: str, actions: List[str]) -> None:
+        self.generation += 1
+        self.history.append(
+            ReconcileRecord(
+                generation=self.generation, trigger=trigger, actions=actions
+            )
+        )
+
+    # -- placement & data-plane updates --------------------------------------------
+
+    def _solve(self, chain: CompiledChain) -> PlacementPlan:
+        outside_app = tuple(
+            constraint.args[0]
+            for constraint in (
+                self.compiled.app.constraints if self.compiled else ()
+            )
+            if constraint.kind == "outside_app"
+        )
+        colocate = {
+            constraint.args[0]: constraint.args[1]
+            for constraint in (
+                self.compiled.app.constraints if self.compiled else ()
+            )
+            if constraint.kind == "colocate"
+        }
+        request = PlacementRequest(
+            chain=chain,
+            schema=self.schema,
+            cluster=self.cluster_spec,
+            strategy=self.strategy,
+            colocate=colocate,
+            outside_app=outside_app,
+        )
+        return solve_placement(request)
+
+    def replicas_of(self, service: str) -> int:
+        obj = self.kube.get(KIND_DEPLOYMENT, service)
+        if obj is None:
+            return 1
+        return int(obj.spec.get("replicas", 1))
+
+    def _push_endpoints(self, actions: List[str]) -> None:
+        """Install replica sets into every running load balancer's
+        endpoints table (hot, no pause: keyed upsert)."""
+        for (src, dst), installed in self.installed.items():
+            del src
+            if installed.stack is None:
+                continue
+            replicas = [
+                f"{dst}.{index + 1}"
+                for index in range(self.replicas_of(dst))
+            ]
+            for processor in installed.stack.processors:
+                for name in processor.segment.elements:
+                    element_ir = installed.chain.elements[name].ir
+                    if any(
+                        decl.name == "endpoints" for decl in element_ir.states
+                    ):
+                        processor.seed_endpoints(name, replicas)
+                        actions.append(
+                            f"updated {name} endpoints to {replicas}"
+                        )
+
+    def _hot_update(
+        self, previous: InstalledChain, current: InstalledChain
+    ) -> None:
+        """Swap element code on a live stack, carrying state across
+        (paper §5.2: state decoupling enables hot update)."""
+        stack = previous.stack
+        assert stack is not None
+        old_state: Dict[str, object] = {}
+        for processor in stack.processors:
+            for name in processor.segment.elements:
+                old_state[name] = processor.element_state(name).snapshot()
+        new_stack_needed = (
+            current.plan.segments != previous.plan.segments
+            or current.chain.element_order != previous.chain.element_order
+        )
+        if new_stack_needed:
+            # placement changed: the caller must re-install; keep the old
+            # stack serving until then
+            current.stack = None
+            return
+        for processor in stack.processors:
+            for name in processor.segment.elements:
+                artifact = current.chain.elements[name].artifact("python")
+                fresh = artifact.factory(on_func_call=processor._on_func_call)
+                snapshot = old_state.get(name)
+                if snapshot is not None:
+                    try:
+                        fresh.state.load_snapshot(snapshot)
+                    except Exception:
+                        pass  # schema changed: fresh state is correct
+                processor.instances[name] = fresh
+        current.stack = stack
+
+    # -- data-plane installation ---------------------------------------------------
+
+    def install_stack(
+        self,
+        sim,
+        cluster,
+        src: str,
+        dst: str,
+        handcoded: bool = False,
+    ) -> AdnMrpcStack:
+        """Build a runnable stack for one managed chain."""
+        key = (src, dst)
+        if key not in self.installed:
+            raise ControlPlaneError(f"no chain {src} -> {dst} installed")
+        installed = self.installed[key]
+        stack = AdnMrpcStack(
+            sim,
+            cluster,
+            installed.chain,
+            self.schema,
+            self.compiler.registry,
+            plan=installed.plan,
+            handcoded=handcoded,
+            client_service=src,
+            server_service=dst,
+            server_replicas=self.replicas_of(dst),
+            filters=list(installed.chain.filters.values()),
+            filter_order=list(installed.chain.decl.elements),
+            guarantees=(
+                self.compiled.app.guarantees if self.compiled else None
+            ),
+        )
+        installed.stack = stack
+        self._push_endpoints([])
+        return stack

@@ -1,0 +1,149 @@
+"""Mini cluster manager (the prototype's Kubernetes integration, §6).
+
+The paper's controller "integrates with Kubernetes ... a Kubernetes
+custom resource called ADNConfig which developers use to provide ADN
+programs. The ADN controller watches for changes to this resource or to
+the deployment." This module provides the watchable resource store that
+plays the API-server role: typed resources, versioned updates, and
+watch callbacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ControlPlaneError
+
+#: resource kinds the controller understands
+KIND_ADN_CONFIG = "ADNConfig"
+KIND_DEPLOYMENT = "Deployment"
+KIND_NODE = "Node"
+
+KNOWN_KINDS = frozenset({KIND_ADN_CONFIG, KIND_DEPLOYMENT, KIND_NODE})
+
+#: watch event types
+ADDED = "ADDED"
+MODIFIED = "MODIFIED"
+DELETED = "DELETED"
+
+
+@dataclass(frozen=True)
+class ResourceObject:
+    """One stored resource with its version."""
+
+    kind: str
+    name: str
+    spec: Dict[str, object]
+    version: int
+
+
+WatchCallback = Callable[[str, ResourceObject], None]
+
+
+@dataclass
+class _Watch:
+    callback: WatchCallback
+    kinds: Optional[Tuple[str, ...]]  # None = all kinds
+
+
+class MiniKube:
+    """An in-process resource store with watches.
+
+    Not a network server: controllers in this reproduction run in the
+    same process as the simulator, so the store just invokes callbacks
+    synchronously in registration order — equivalent semantics to a
+    single-writer API server with level-triggered watches.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[str, str], ResourceObject] = {}
+        self._watches: List[_Watch] = []
+        self._versions = itertools.count(1)
+
+    # -- CRUD -------------------------------------------------------------
+
+    def apply(self, kind: str, name: str, spec: Dict[str, object]) -> ResourceObject:
+        """Create or update a resource; notifies watchers."""
+        if kind not in KNOWN_KINDS:
+            raise ControlPlaneError(f"unknown resource kind {kind!r}")
+        key = (kind, name)
+        existing = self._store.get(key)
+        obj = ResourceObject(
+            kind=kind, name=name, spec=dict(spec), version=next(self._versions)
+        )
+        self._store[key] = obj
+        self._notify(ADDED if existing is None else MODIFIED, obj)
+        return obj
+
+    def delete(self, kind: str, name: str) -> None:
+        key = (kind, name)
+        obj = self._store.pop(key, None)
+        if obj is None:
+            raise ControlPlaneError(f"{kind}/{name} not found")
+        self._notify(DELETED, obj)
+
+    def get(self, kind: str, name: str) -> Optional[ResourceObject]:
+        return self._store.get((kind, name))
+
+    def list(self, kind: str) -> List[ResourceObject]:
+        return sorted(
+            (obj for (k, _n), obj in self._store.items() if k == kind),
+            key=lambda o: o.name,
+        )
+
+    # -- watches ------------------------------------------------------------
+
+    def watch(
+        self, callback: WatchCallback, kinds: Optional[List[str]] = None
+    ) -> Callable[[], None]:
+        """Register a watch; returns an unsubscribe function. The callback
+        immediately receives ADDED events for existing matching resources
+        (level-triggered semantics)."""
+        watch = _Watch(
+            callback=callback, kinds=tuple(kinds) if kinds else None
+        )
+        self._watches.append(watch)
+        for obj in sorted(self._store.values(), key=lambda o: o.version):
+            if watch.kinds is None or obj.kind in watch.kinds:
+                callback(ADDED, obj)
+
+        def unsubscribe() -> None:
+            if watch in self._watches:
+                self._watches.remove(watch)
+
+        return unsubscribe
+
+    def _notify(self, event: str, obj: ResourceObject) -> None:
+        for watch in list(self._watches):
+            if watch.kinds is None or obj.kind in watch.kinds:
+                watch.callback(event, obj)
+
+    # -- convenience constructors ---------------------------------------------
+
+    def apply_adn_config(
+        self,
+        name: str,
+        program_source: str,
+        app: str,
+        strategy: Optional[str] = None,
+    ) -> ResourceObject:
+        """The ADNConfig custom resource (paper §6). ``strategy``
+        optionally selects the placement strategy (software/inapp/
+        offload/scaleout)."""
+        spec: Dict[str, object] = {"program": program_source, "app": app}
+        if strategy is not None:
+            spec["strategy"] = strategy
+        return self.apply(KIND_ADN_CONFIG, name, spec)
+
+    def apply_deployment(
+        self, service: str, replicas: int, machine: str = "server-host"
+    ) -> ResourceObject:
+        if replicas < 1:
+            raise ControlPlaneError("replicas must be >= 1")
+        return self.apply(
+            KIND_DEPLOYMENT,
+            service,
+            {"service": service, "replicas": replicas, "machine": machine},
+        )

@@ -1,0 +1,160 @@
+"""Autoscaling: watch utilization, scale processors out/in without
+disrupting the application (paper Q3, Figure 2 configuration 4).
+
+``Autoscaler`` is a policy loop: it samples a processor resource's
+utilization over a window and decides scale-out (split state, add
+capacity) or scale-in (merge state, remove capacity). Scaling uses
+:class:`repro.state.migration.Migrator`, so the only data-plane impact
+is the flip pause, during which the processor's queue buffers —
+requests are delayed, never dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+from ..state.migration import MigrationReport, MigrationTiming, Migrator
+
+
+@dataclass
+class ScalingEvent:
+    """One scaling action taken by the autoscaler."""
+
+    at_s: float
+    action: str  # "scale_out" | "scale_in"
+    capacity_before: int
+    capacity_after: int
+    utilization: float
+    migration: Optional[MigrationReport] = None
+
+
+@dataclass
+class AutoscalerConfig:
+    """Policy knobs."""
+
+    high_watermark: float = 0.85  # scale out above this utilization
+    low_watermark: float = 0.25  # scale in below this
+    sample_interval_s: float = 0.05
+    max_capacity: int = 8
+    min_capacity: int = 1
+    cooldown_s: float = 0.2
+
+
+class Autoscaler:
+    """Scales one processor resource, migrating element state as needed.
+
+    ``stateful_tables`` lists the state tables that must be split/merged
+    when capacity changes (the controller passes the keyed tables of the
+    elements hosted on the processor).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        resource: Resource,
+        config: Optional[AutoscalerConfig] = None,
+        stateful_tables: Optional[List] = None,
+        migration_timing: Optional[MigrationTiming] = None,
+    ):
+        self.sim = sim
+        self.resource = resource
+        self.config = config or AutoscalerConfig()
+        self.stateful_tables = stateful_tables or []
+        self.migrator = Migrator(sim, migration_timing)
+        self.events: List[ScalingEvent] = []
+        self._last_busy = 0.0
+        self._last_sample_at = 0.0
+        self._last_action_at = -1e9
+        self._running = False
+
+    # -- utilization sampling ---------------------------------------------
+
+    def _window_utilization(self) -> float:
+        elapsed = self.sim.now - self._last_sample_at
+        if elapsed <= 0:
+            return 0.0
+        busy = self.resource.busy_time - self._last_busy
+        self._last_busy = self.resource.busy_time
+        self._last_sample_at = self.sim.now
+        return busy / (elapsed * self.resource.capacity)
+
+    # -- the control loop --------------------------------------------------------
+
+    def run(self, duration_s: float) -> Generator:
+        """Simulation process: sample and react for ``duration_s``."""
+        self._running = True
+        self._last_sample_at = self.sim.now
+        self._last_busy = self.resource.busy_time
+        deadline = self.sim.now + duration_s
+        while self.sim.now < deadline:
+            yield self.sim.timeout(self.config.sample_interval_s)
+            utilization = self._window_utilization()
+            if self.sim.now - self._last_action_at < self.config.cooldown_s:
+                continue
+            if (
+                utilization > self.config.high_watermark
+                and self.resource.capacity < self.config.max_capacity
+            ):
+                yield from self._scale(utilization, out=True)
+            elif (
+                utilization < self.config.low_watermark
+                and self.resource.capacity > self.config.min_capacity
+            ):
+                yield from self._scale(utilization, out=False)
+        self._running = False
+
+    def _scale(self, utilization: float, out: bool) -> Generator:
+        before = self.resource.capacity
+        after = before + 1 if out else before - 1
+        migration: Optional[MigrationReport] = None
+        for table in self.stateful_tables:
+            if out:
+                # split one way further; in this single-instance model the
+                # migration cost is what matters — rows stay addressable
+                parts, report = yield from self.migrator.scale_out(table, 2)
+                merged = table.merge(table.decl, parts)
+                table.load_snapshot(merged.snapshot())
+                migration = report
+            else:
+                # scale-in: warm-merge while serving, pause only for the
+                # routing flip (same discipline as scale-out)
+                report = MigrationReport(
+                    table=table.name, started_at=self.sim.now
+                )
+                report.rows_copied = len(table)
+                warm_s = (
+                    len(table) * self.migrator.timing.per_row_copy_us * 1e-6
+                )
+                if warm_s > 0:
+                    yield self.sim.timeout(warm_s)
+                report.warm_copy_s = warm_s
+                pause_started = self.sim.now
+                yield self.sim.timeout(
+                    self.migrator.timing.flip_fixed_us * 1e-6
+                )
+                report.pause_s = self.sim.now - pause_started
+                report.finished_at = self.sim.now
+                migration = report
+        self.resource.set_capacity(after)
+        self._last_action_at = self.sim.now
+        self.events.append(
+            ScalingEvent(
+                at_s=self.sim.now,
+                action="scale_out" if out else "scale_in",
+                capacity_before=before,
+                capacity_after=after,
+                utilization=utilization,
+                migration=migration,
+            )
+        )
+
+    @property
+    def scale_out_count(self) -> int:
+        return sum(1 for e in self.events if e.action == "scale_out")
+
+    @property
+    def scale_in_count(self) -> int:
+        return sum(1 for e in self.events if e.action == "scale_in")

@@ -1,0 +1,62 @@
+"""The ADN domain-specific language: lexer, parser, validator, stdlib.
+
+Typical use::
+
+    from repro.dsl import parse, validate_program, RpcSchema, FieldType
+
+    program = parse(source_text)
+    program = validate_program(program, schema=RpcSchema.of(
+        "kv", obj_id=FieldType.INT, username=FieldType.STR,
+        payload=FieldType.BYTES))
+"""
+
+from .ast_nodes import (
+    AppDef,
+    ChainDecl,
+    ConstraintDecl,
+    ElementDef,
+    FilterDef,
+    GuaranteeDecl,
+    Program,
+    ServiceDecl,
+)
+from .functions import DEFAULT_REGISTRY, FunctionRegistry, FunctionSpec
+from .lexer import tokenize
+from .parser import parse, parse_element
+from .schema import META_FIELDS, FieldSpec, FieldType, RpcSchema
+from .stdlib import STDLIB_SOURCES, load_stdlib, stdlib_loc, stdlib_source
+from .validator import (
+    validate_app,
+    validate_element,
+    validate_filter,
+    validate_program,
+)
+
+__all__ = [
+    "AppDef",
+    "ChainDecl",
+    "ConstraintDecl",
+    "DEFAULT_REGISTRY",
+    "ElementDef",
+    "FieldSpec",
+    "FieldType",
+    "FilterDef",
+    "FunctionRegistry",
+    "FunctionSpec",
+    "GuaranteeDecl",
+    "META_FIELDS",
+    "Program",
+    "RpcSchema",
+    "STDLIB_SOURCES",
+    "ServiceDecl",
+    "load_stdlib",
+    "parse",
+    "parse_element",
+    "stdlib_loc",
+    "stdlib_source",
+    "tokenize",
+    "validate_app",
+    "validate_element",
+    "validate_filter",
+    "validate_program",
+]

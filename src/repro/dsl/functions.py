@@ -1,0 +1,350 @@
+"""Built-in function and UDF registry for the ADN DSL.
+
+The DSL's expression language calls functions by name. Most are simple
+builtins (``hash``, ``len``, ``min``); a few are *user-defined functions*
+in the paper's sense (§5.1) — operations like compression and encryption
+that SQL cannot express and for which platform-specific implementations
+are provided. Each registry entry records the semantic properties the
+compiler relies on:
+
+* ``deterministic`` — same inputs always give the same output. ``rand()``
+  and ``now()`` are not deterministic; elements calling them cannot be
+  deduplicated/replicated naively.
+* ``pure`` — no side effects outside the expression value.
+* ``payload_op`` — touches the (possibly large) RPC payload; such calls
+  cannot be offloaded to a switch, which sees only the header window.
+* ``platforms`` — which execution platforms can run the function.
+* ``cost_us`` — estimated execution cost charged by the simulator's cost
+  model per call (plus a per-byte term for payload ops).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import DslValidationError
+from ..platforms import Platform
+from .schema import FieldType
+
+ALL_PLATFORMS = frozenset(Platform)
+SOFTWARE_ONLY = frozenset(
+    {Platform.RPC_LIB, Platform.MRPC, Platform.SIDECAR}
+)
+SOFTWARE_AND_NIC = SOFTWARE_ONLY | {Platform.SMARTNIC}
+SOFTWARE_NIC_KERNEL = SOFTWARE_AND_NIC | {Platform.KERNEL_EBPF}
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Registry entry for one callable DSL function."""
+
+    name: str
+    arity: Tuple[int, ...]  # accepted argument counts
+    result_type: Optional[FieldType]  # None = same as first argument
+    impl: Callable
+    deterministic: bool = True
+    pure: bool = True
+    payload_op: bool = False
+    platforms: frozenset = ALL_PLATFORMS
+    cost_us: float = 0.05
+    cost_per_byte_us: float = 0.0
+    doc: str = ""
+
+    def check_arity(self, count: int) -> None:
+        if count not in self.arity:
+            expected = " or ".join(str(n) for n in self.arity)
+            raise DslValidationError(
+                f"function {self.name}() takes {expected} argument(s), got {count}"
+            )
+
+
+def _stable_hash(value: object) -> int:
+    """64-bit deterministic hash (Python's ``hash`` is salted per-process,
+    which would make compiled programs non-reproducible across runs)."""
+    data = repr(value).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def _as_bytes(value: object) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return repr(value).encode("utf-8")
+
+
+def _xor_cipher(data: bytes, key: object) -> bytes:
+    """Toy symmetric cipher used as the encryption UDF's reference
+    implementation. Stands in for AES-GCM in the real system; what matters
+    to the compiler is the call's properties, not its cryptography."""
+    key_bytes = _as_bytes(key) or b"\x00"
+    return bytes(b ^ key_bytes[i % len(key_bytes)] for i, b in enumerate(data))
+
+
+class FunctionRegistry:
+    """Name → :class:`FunctionSpec` mapping with registration support.
+
+    A fresh registry is pre-populated with the builtins; applications add
+    their own UDFs with :meth:`register`.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._specs: Dict[str, FunctionSpec] = {}
+        # The RNG is injectable so simulations are reproducible; ``rand()``
+        # reads from it.
+        self.rng = rng or random.Random(0)
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._install_builtins()
+
+    # -- wiring to the simulator -------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Route ``now()`` to the simulator's clock."""
+        self._clock = clock
+
+    def bind_rng(self, rng: random.Random) -> None:
+        """Route ``rand()`` to a seeded RNG."""
+        self.rng = rng
+
+    # -- registry ------------------------------------------------------------
+
+    def register(self, spec: FunctionSpec) -> None:
+        if spec.name in self._specs:
+            raise DslValidationError(f"function {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> FunctionSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise DslValidationError(f"unknown function {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> Sequence[str]:
+        return tuple(self._specs)
+
+    # -- builtins ---------------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        add = self.register
+        add(
+            FunctionSpec(
+                "now",
+                arity=(0,),
+                result_type=FieldType.FLOAT,
+                impl=lambda: self._clock(),
+                deterministic=False,
+                cost_us=0.02,
+                doc="Current time in seconds (simulated clock).",
+            )
+        )
+        add(
+            FunctionSpec(
+                "rand",
+                arity=(0,),
+                result_type=FieldType.FLOAT,
+                impl=lambda: self.rng.random(),
+                deterministic=False,
+                cost_us=0.02,
+                doc="Uniform random float in [0, 1).",
+            )
+        )
+        add(
+            FunctionSpec(
+                "hash",
+                arity=(1,),
+                result_type=FieldType.INT,
+                impl=_stable_hash,
+                cost_us=0.05,
+                doc="Stable 64-bit hash of any value.",
+            )
+        )
+        add(
+            FunctionSpec(
+                "len",
+                arity=(1,),
+                result_type=FieldType.INT,
+                impl=lambda v: len(v) if v is not None else 0,
+                cost_us=0.02,
+                doc="Length of a string/bytes value.",
+            )
+        )
+        add(
+            FunctionSpec(
+                "min",
+                arity=(2,),
+                result_type=None,
+                impl=min,
+                cost_us=0.02,
+            )
+        )
+        add(
+            FunctionSpec(
+                "max",
+                arity=(2,),
+                result_type=None,
+                impl=max,
+                cost_us=0.02,
+            )
+        )
+        add(
+            FunctionSpec(
+                "abs",
+                arity=(1,),
+                result_type=None,
+                impl=abs,
+                cost_us=0.02,
+            )
+        )
+        add(
+            FunctionSpec(
+                "floor",
+                arity=(1,),
+                result_type=FieldType.INT,
+                impl=lambda v: int(v // 1),
+                cost_us=0.02,
+            )
+        )
+        add(
+            FunctionSpec(
+                "concat",
+                arity=(2, 3, 4),
+                result_type=FieldType.STR,
+                impl=lambda *parts: "".join(str(p) for p in parts),
+                platforms=SOFTWARE_AND_NIC,
+                cost_us=0.05,
+            )
+        )
+        add(
+            FunctionSpec(
+                "upper",
+                arity=(1,),
+                result_type=FieldType.STR,
+                impl=lambda s: str(s).upper(),
+                platforms=SOFTWARE_AND_NIC,
+                cost_us=0.03,
+            )
+        )
+        add(
+            FunctionSpec(
+                "lower",
+                arity=(1,),
+                result_type=FieldType.STR,
+                impl=lambda s: str(s).lower(),
+                platforms=SOFTWARE_AND_NIC,
+                cost_us=0.03,
+            )
+        )
+        add(
+            FunctionSpec(
+                "coalesce",
+                arity=(2,),
+                result_type=None,
+                impl=lambda a, b: a if a is not None else b,
+                cost_us=0.02,
+            )
+        )
+        add(
+            FunctionSpec(
+                "contains",
+                arity=(2,),
+                result_type=FieldType.BOOL,
+                impl=None,  # special-cased: key lookup on a state table
+                cost_us=0.04,
+                doc="True when a state table's key column contains a value.",
+            )
+        )
+        add(
+            FunctionSpec(
+                "count",
+                arity=(1,),
+                result_type=FieldType.INT,
+                impl=len,  # applied to a state table's rows by the runtime
+                cost_us=0.03,
+                doc="Row count of a state table (aggregate).",
+            )
+        )
+        # column aggregates over a state table: sum_of(tab, col) etc.
+        # Software-only (a switch cannot scan a table per packet); cost
+        # reflects the scan.
+        for agg_name, result in (
+            ("sum_of", None),
+            ("min_of", None),
+            ("max_of", None),
+            ("avg_of", FieldType.FLOAT),
+        ):
+            add(
+                FunctionSpec(
+                    agg_name,
+                    arity=(2,),
+                    result_type=result,
+                    impl=None,  # special-cased: table scan by the runtime
+                    platforms=SOFTWARE_ONLY,
+                    cost_us=0.5,
+                    doc=f"{agg_name}(table, column): column aggregate.",
+                )
+            )
+        # --- UDFs with platform-specific implementations (paper §5.1) ---
+        add(
+            FunctionSpec(
+                "compress",
+                arity=(1,),
+                result_type=FieldType.BYTES,
+                impl=lambda payload: zlib.compress(_as_bytes(payload), level=1),
+                payload_op=True,
+                platforms=SOFTWARE_AND_NIC,
+                cost_us=1.0,
+                cost_per_byte_us=0.002,
+                doc="zlib-compress a payload (UDF).",
+            )
+        )
+        add(
+            FunctionSpec(
+                "decompress",
+                arity=(1,),
+                result_type=FieldType.BYTES,
+                impl=lambda payload: zlib.decompress(_as_bytes(payload)),
+                payload_op=True,
+                platforms=SOFTWARE_AND_NIC,
+                cost_us=0.8,
+                cost_per_byte_us=0.0015,
+                doc="zlib-decompress a payload (UDF).",
+            )
+        )
+        add(
+            FunctionSpec(
+                "encrypt",
+                arity=(2,),
+                result_type=FieldType.BYTES,
+                impl=lambda payload, key: _xor_cipher(_as_bytes(payload), key),
+                payload_op=True,
+                platforms=SOFTWARE_AND_NIC,
+                cost_us=0.8,
+                cost_per_byte_us=0.001,
+                doc="Encrypt a payload with a key (UDF).",
+            )
+        )
+        add(
+            FunctionSpec(
+                "decrypt",
+                arity=(2,),
+                result_type=FieldType.BYTES,
+                impl=lambda payload, key: _xor_cipher(_as_bytes(payload), key),
+                payload_op=True,
+                platforms=SOFTWARE_AND_NIC,
+                cost_us=0.8,
+                cost_per_byte_us=0.001,
+                doc="Decrypt a payload with a key (UDF).",
+            )
+        )
+
+
+#: Shared default registry. Elements compiled without an explicit registry
+#: use this one; tests that register custom UDFs should build their own.
+DEFAULT_REGISTRY = FunctionRegistry()

@@ -1,0 +1,178 @@
+"""Hand-written lexer for the ADN DSL.
+
+A small scanner is easier to keep exact about source positions (needed for
+good error messages) than a regex table, and the token set is tiny.
+Comments run from ``--`` or ``#`` to end of line, matching the SQL style
+used in the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import DslSyntaxError
+from .tokens import KEYWORDS, Token, TokenType
+
+_PUNCT_TWO = {
+    "->": TokenType.ARROW,
+    "==": TokenType.EQEQ,
+    "!=": TokenType.NEQ,
+    "<>": TokenType.NEQ,
+    "<=": TokenType.LTE,
+    ">=": TokenType.GTE,
+}
+
+_PUNCT_ONE = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ":": TokenType.COLON,
+    ".": TokenType.DOT,
+    "*": TokenType.STAR,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "=": TokenType.EQ,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+}
+
+
+class Lexer:
+    """Converts DSL source text into a token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (``--`` or ``#`` to end of line)."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "#" or (ch == "-" and self._peek(1) == "-"):
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _lex_string(self) -> Token:
+        quote = self._peek()
+        line, column = self.line, self.column
+        self._advance()
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise DslSyntaxError("unterminated string literal", line, column)
+            if ch == quote:
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                if escape not in mapping:
+                    raise DslSyntaxError(
+                        f"unknown escape '\\{escape}'", self.line, self.column
+                    )
+                chars.append(mapping[escape])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(TokenType.STRING, "".join(chars), line, column)
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenType.FLOAT if is_float else TokenType.INT
+        return Token(kind, text, line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        if text.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, text.upper(), line, column)
+        return Token(TokenType.IDENT, text, line, column)
+
+    def next_token(self) -> Token:
+        """Return the next token, or an EOF token at end of input."""
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokenType.EOF, "", self.line, self.column)
+        ch = self._peek()
+        if ch in ("'", '"'):
+            return self._lex_string()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word()
+        two = ch + self._peek(1)
+        if two in _PUNCT_TWO:
+            token = Token(_PUNCT_TWO[two], two, self.line, self.column)
+            self._advance(2)
+            return token
+        if ch in _PUNCT_ONE:
+            token = Token(_PUNCT_ONE[ch], ch, self.line, self.column)
+            self._advance()
+            return token
+        raise DslSyntaxError(f"unexpected character {ch!r}", self.line, self.column)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens including the trailing EOF."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.type is TokenType.EOF:
+                return
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` fully; convenience wrapper used by the parser."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,264 @@
+"""Pretty-printer: AST → canonical DSL source.
+
+``parse(print_program(ast))`` reproduces the AST (modulo resolved
+variable references, which print as bare names) — the property the
+round-trip tests check. Used by tooling (the CLI's ``fmt`` command) and
+for emitting programs the controller has modified.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    AppDef,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    DeleteStmt,
+    ElementDef,
+    Expr,
+    FilterDef,
+    FuncCall,
+    GuaranteeDecl,
+    InsertValues,
+    Literal,
+    Program,
+    SelectItem,
+    SelectStmt,
+    SetStmt,
+    Star,
+    Statement,
+    UnaryOp,
+    UpdateStmt,
+    VarRef,
+)
+
+#: precedence levels for parenthesization (higher binds tighter)
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def print_literal(value: object) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        text = repr(value)
+        return text if ("." in text or "e" in text) else text + ".0"
+    return repr(value)
+
+
+def print_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    if isinstance(expr, Literal):
+        return print_literal(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, FuncCall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            inner = print_expr(expr.operand, 3)
+            text = f"NOT {inner}"
+            return f"({text})" if parent_precedence > 3 else text
+        inner = print_expr(expr.operand, 7)
+        if inner.startswith("-"):
+            # avoid '--', which would lex as a SQL comment
+            inner = f"({inner})"
+        return f"-{inner}"
+    if isinstance(expr, BinaryOp):
+        precedence = _PRECEDENCE[expr.op]
+        op_text = {"and": "AND", "or": "OR"}.get(expr.op, expr.op)
+        # comparisons are non-associative in the grammar: both operands
+        # need parens at equal precedence; other operators associate left
+        comparison = expr.op in ("==", "!=", "<", "<=", ">", ">=")
+        left = print_expr(expr.left, precedence + 1 if comparison else precedence)
+        right = print_expr(expr.right, precedence + 1)
+        text = f"{left} {op_text} {right}"
+        return f"({text})" if parent_precedence > precedence else text
+    if isinstance(expr, CaseExpr):
+        parts = ["CASE"]
+        for condition, value in expr.whens:
+            parts.append(f"WHEN {print_expr(condition)} THEN {print_expr(value)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {print_expr(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def print_statement(stmt: Statement) -> str:
+    if isinstance(stmt, SelectStmt):
+        items: List[str] = []
+        for item in stmt.items:
+            if isinstance(item, Star):
+                items.append(f"{item.table}.*" if item.table else "*")
+            else:
+                assert isinstance(item, SelectItem)
+                text = print_expr(item.expr)
+                if item.alias:
+                    text += f" AS {item.alias}"
+                items.append(text)
+        parts = [f"SELECT {', '.join(items)} FROM {stmt.source}"]
+        for join in stmt.joins:
+            parts.append(f"JOIN {join.table} ON {print_expr(join.on)}")
+        if stmt.where is not None:
+            parts.append(f"WHERE {print_expr(stmt.where)}")
+        text = " ".join(parts) + ";"
+        if stmt.into is not None:
+            text = f"INSERT INTO {stmt.into} {text}"
+        return text
+    if isinstance(stmt, InsertValues):
+        rows = ", ".join(
+            "(" + ", ".join(print_expr(v) for v in row) + ")"
+            for row in stmt.rows
+        )
+        return f"INSERT INTO {stmt.table} VALUES {rows};"
+    if isinstance(stmt, UpdateStmt):
+        assignments = ", ".join(
+            f"{column} = {print_expr(expr)}" for column, expr in stmt.assignments
+        )
+        text = f"UPDATE {stmt.table} SET {assignments}"
+        if stmt.where is not None:
+            text += f" WHERE {print_expr(stmt.where)}"
+        return text + ";"
+    if isinstance(stmt, DeleteStmt):
+        text = f"DELETE FROM {stmt.table}"
+        if stmt.where is not None:
+            text += f" WHERE {print_expr(stmt.where)}"
+        return text + ";"
+    if isinstance(stmt, SetStmt):
+        text = f"SET {stmt.var} = {print_expr(stmt.expr)}"
+        if stmt.where is not None:
+            text += f" WHERE {print_expr(stmt.where)}"
+        return text + ";"
+    raise TypeError(f"cannot print statement {stmt!r}")
+
+
+def _print_meta_value(value: object) -> str:
+    if isinstance(value, str):
+        # bare words (e.g. `sender`) stay bare; anything else is quoted
+        return value if value.isidentifier() else print_literal(value)
+    return print_literal(value)
+
+
+def _print_meta(meta: dict, indent: str) -> List[str]:
+    if not meta:
+        return []
+    entries = " ".join(
+        f"{key}: {_print_meta_value(value)};" for key, value in meta.items()
+    )
+    return [f"{indent}meta {{ {entries} }}"]
+
+
+def print_element(element: ElementDef) -> str:
+    lines = [f"element {element.name} {{"]
+    lines.extend(_print_meta(element.meta, "    "))
+    for decl in element.states:
+        columns = ", ".join(
+            f"{col.name}: {col.type.value}" + (" KEY" if col.is_key else "")
+            for col in decl.columns
+        )
+        suffix = " APPEND" if decl.append_only else ""
+        lines.append(f"    state {decl.name} ({columns}){suffix};")
+    for var in element.vars:
+        lines.append(
+            f"    var {var.name}: {var.type.value} = "
+            f"{print_literal(var.init.value)};"
+        )
+    if element.init:
+        lines.append("    init {")
+        for stmt in element.init:
+            lines.append(f"        {print_statement(stmt)}")
+        lines.append("    }")
+    for handler in element.handlers:
+        lines.append(f"    on {handler.kind} {{")
+        for stmt in handler.statements:
+            lines.append(f"        {print_statement(stmt)}")
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_filter(filter_def: FilterDef) -> str:
+    lines = [f"filter {filter_def.name} {{"]
+    lines.extend(_print_meta(filter_def.meta, "    "))
+    lines.append(f"    use operator {filter_def.operator};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_app(app: AppDef) -> str:
+    lines = [f"app {app.name} {{"]
+    for service in app.services:
+        if service.replicas > 1:
+            lines.append(
+                f"    service {service.name} replicas {service.replicas};"
+            )
+        else:
+            lines.append(f"    service {service.name};")
+    for chain in app.chains:
+        elements = ", ".join(chain.elements)
+        lines.append(
+            f"    chain {chain.src} -> {chain.dst} {{ {elements} }}"
+        )
+    for constraint in app.constraints:
+        if constraint.kind == "colocate":
+            lines.append(
+                f"    constrain {constraint.args[0]} colocate "
+                f"{constraint.args[1]};"
+            )
+        elif constraint.kind == "outside_app":
+            lines.append(f"    constrain {constraint.args[0]} outside_app;")
+        else:  # before / after
+            lines.append(
+                f"    constrain {constraint.args[0]} {constraint.kind} "
+                f"{constraint.args[1]};"
+            )
+    lines.extend(_print_guarantees(app.guarantees))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_guarantees(guarantees: GuaranteeDecl) -> List[str]:
+    flags = []
+    if guarantees.reliable:
+        flags.append("reliable")
+    if guarantees.ordered:
+        flags.append("ordered")
+    if not flags:
+        return []
+    return [f"    guarantee {' '.join(flags)};"]
+
+
+def print_program(program: Program) -> str:
+    """Full program as canonical DSL text."""
+    chunks: List[str] = []
+    for element in program.elements.values():
+        chunks.append(print_element(element))
+    for filter_def in program.filters.values():
+        chunks.append(print_filter(filter_def))
+    for app in program.apps.values():
+        chunks.append(print_app(app))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,131 @@
+"""Token definitions for the ADN DSL.
+
+The DSL has two sub-languages that share one lexer:
+
+* the *element* language — SQL-like statements over the special ``input``
+  stream and element-local state tables (paper §5.1, Figure 4);
+* the *app* language — services, chains of elements between services, and
+  placement/delivery constraints (paper §3).
+
+Keywords are case-insensitive, matching SQL convention; identifiers are
+case-sensitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by the lexer."""
+
+    IDENT = "IDENT"
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    KEYWORD = "KEYWORD"
+    # punctuation / operators
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    DOT = "."
+    STAR = "*"
+    PLUS = "+"
+    MINUS = "-"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "="
+    EQEQ = "=="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    ARROW = "->"
+    EOF = "EOF"
+
+
+#: Reserved words. The lexer upper-cases candidate identifiers and checks
+#: membership here, so ``select`` and ``SELECT`` both lex as keywords.
+KEYWORDS = frozenset(
+    {
+        # SQL statement heads
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "JOIN",
+        "ON",
+        "AS",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "AND",
+        "OR",
+        "NOT",
+        "TRUE",
+        "FALSE",
+        "NULL",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        # element structure
+        "ELEMENT",
+        "FILTER",
+        "META",
+        "STATE",
+        "VAR",
+        "INIT",
+        "KEY",
+        "APPEND",
+        "USE",
+        "OPERATOR",
+        # types
+        "STR",
+        "INT",
+        "FLOAT",
+        "BOOL",
+        "BYTES",
+        # app language
+        "APP",
+        "SERVICE",
+        "REPLICAS",
+        "CHAIN",
+        "CONSTRAIN",
+        "COLOCATE",
+        "SENDER",
+        "RECEIVER",
+        "OUTSIDE_APP",
+        "GUARANTEE",
+        "RELIABLE",
+        "ORDERED",
+        "BEFORE",
+        "AFTER",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based line/column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given (upper-case) keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # concise for parser error messages
+        return f"{self.type.value}({self.value!r})@{self.line}:{self.column}"

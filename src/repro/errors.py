@@ -1,0 +1,84 @@
+"""Exception hierarchy for the ADN reproduction.
+
+Every error raised by the library derives from :class:`AdnError` so callers
+can catch one type at the API boundary. Subpackages raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class AdnError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DslSyntaxError(AdnError):
+    """The DSL source text could not be tokenized or parsed.
+
+    Carries the source position so tooling can point at the offending text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class DslValidationError(AdnError):
+    """The DSL parsed but is semantically invalid (unknown table, type
+    mismatch, write to read-only table, duplicate element name, ...)."""
+
+
+class CompileError(AdnError):
+    """The compiler could not lower or optimize a program."""
+
+
+class BackendError(CompileError):
+    """A backend rejected an element (platform legality failure).
+
+    ``reasons`` lists each constraint the element violates on the target
+    platform, e.g. unbounded loops for eBPF or payload access for P4.
+    """
+
+    def __init__(self, message: str, reasons: list | None = None):
+        super().__init__(message)
+        self.reasons = list(reasons or [])
+
+
+class HeaderLayoutError(CompileError):
+    """A wire-header layout violates a platform constraint (for example,
+    a field needed by a switch element falls outside the 200-byte parse
+    window of the P4 pipeline model)."""
+
+
+class PlacementError(AdnError):
+    """The placement solver could not satisfy all constraints with the
+    available processors."""
+
+
+class StateError(AdnError):
+    """Invalid state-table operation (schema mismatch, bad merge/split,
+    migrating a table that is not keyed, ...)."""
+
+
+class SimulationError(AdnError):
+    """The discrete-event simulator detected an inconsistency (event in
+    the past, negative duration, resource misuse)."""
+
+
+class RuntimeFault(AdnError):
+    """A data-plane processor failed while executing an element."""
+
+
+class ControlPlaneError(AdnError):
+    """Cluster-manager or controller failure (unknown resource kind,
+    conflicting update, reconfiguration protocol violation)."""
+
+
+class RpcAborted(AdnError):
+    """An RPC was aborted by the network (ACL denial, fault injection,
+    admission control). Carries the element that aborted it."""
+
+    def __init__(self, message: str, element: str = ""):
+        super().__init__(message)
+        self.element = element

@@ -1,0 +1,172 @@
+"""Lowering from validated DSL AST to the IR.
+
+The builder assumes the element already passed
+:func:`repro.dsl.validator.validate_element` — names are resolved
+(element variables are :class:`VarRef` nodes) and tables/columns exist.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..dsl.ast_nodes import (
+    ColumnRef,
+    DeleteStmt,
+    ElementDef,
+    Expr,
+    InsertValues,
+    Literal,
+    SelectItem,
+    SelectStmt,
+    SetStmt,
+    Star,
+    Statement,
+    UpdateStmt,
+)
+from ..errors import CompileError
+from .nodes import (
+    AssignVar,
+    DeleteRows,
+    ElementIR,
+    EmitRows,
+    FilterRows,
+    HandlerIR,
+    InsertLiterals,
+    InsertRows,
+    JoinState,
+    Op,
+    Project,
+    Scan,
+    StatementIR,
+    UpdateRows,
+)
+
+
+def build_element_ir(element: ElementDef) -> ElementIR:
+    """Lower a validated element definition into :class:`ElementIR`."""
+    handlers = {}
+    for handler in element.handlers:
+        statements = tuple(
+            _lower_statement(element, stmt) for stmt in handler.statements
+        )
+        handlers[handler.kind] = HandlerIR(kind=handler.kind, statements=statements)
+    init = tuple(_lower_init_statement(element, stmt) for stmt in element.init)
+    return ElementIR(
+        name=element.name,
+        meta=dict(element.meta),
+        states=element.states,
+        vars=element.vars,
+        init=init,
+        handlers=handlers,
+    )
+
+
+def _lower_statement(element: ElementDef, stmt: Statement) -> StatementIR:
+    if isinstance(stmt, SelectStmt):
+        return _lower_select(element, stmt)
+    if isinstance(stmt, InsertValues):
+        return StatementIR(ops=(_lower_insert_values(stmt),))
+    if isinstance(stmt, UpdateStmt):
+        return StatementIR(
+            ops=(
+                UpdateRows(
+                    table=stmt.table,
+                    assignments=stmt.assignments,
+                    where=stmt.where,
+                ),
+            )
+        )
+    if isinstance(stmt, DeleteStmt):
+        return StatementIR(ops=(DeleteRows(table=stmt.table, where=stmt.where),))
+    if isinstance(stmt, SetStmt):
+        return StatementIR(
+            ops=(AssignVar(var=stmt.var, expr=stmt.expr, where=stmt.where),)
+        )
+    raise CompileError(f"cannot lower statement {stmt!r}")
+
+
+def _lower_init_statement(element: ElementDef, stmt: Statement) -> StatementIR:
+    lowered = _lower_statement(element, stmt)
+    for op in lowered.ops:
+        if isinstance(op, (Scan, EmitRows)):
+            raise CompileError("init statements cannot touch the input stream")
+    return lowered
+
+
+def _lower_select(element: ElementDef, stmt: SelectStmt) -> StatementIR:
+    if stmt.source != "input":
+        raise CompileError(
+            f"element {element.name!r}: SELECT source must be 'input' "
+            f"in handlers (got {stmt.source!r})"
+        )
+    ops: List[Op] = [Scan()]
+    for join in stmt.joins:
+        ops.append(JoinState(table=join.table, on=join.on))
+    if stmt.where is not None:
+        ops.append(FilterRows(predicate=stmt.where))
+    ops.append(_build_project(element, stmt))
+    if stmt.into is None:
+        ops.append(EmitRows())
+    else:
+        ops.append(InsertRows(table=stmt.into))
+    return StatementIR(ops=tuple(ops))
+
+
+def _build_project(element: ElementDef, stmt: SelectStmt) -> Project:
+    keep_input = False
+    star_tables: List[str] = []
+    items: List[Tuple[str, Expr]] = []
+    position = 0
+    target_columns: Optional[Tuple[str, ...]] = None
+    if stmt.into is not None:
+        decl = element.state(stmt.into)
+        if decl is None:
+            raise CompileError(f"unknown target table {stmt.into!r}")
+        target_columns = tuple(col.name for col in decl.columns)
+    for item in stmt.items:
+        if isinstance(item, Star):
+            if item.table in (None, "input"):
+                keep_input = True
+            else:
+                star_tables.append(item.table)
+            continue
+        assert isinstance(item, SelectItem)
+        name = _output_name(item, target_columns, position)
+        items.append((name, item.expr))
+        position += 1
+    return Project(
+        items=tuple(items),
+        keep_input=keep_input,
+        star_tables=tuple(star_tables),
+    )
+
+
+def _output_name(
+    item: SelectItem,
+    target_columns: Optional[Tuple[str, ...]],
+    position: int,
+) -> str:
+    if item.alias:
+        return item.alias
+    if target_columns is not None:
+        # positional mapping into the target table's columns
+        if position >= len(target_columns):
+            raise CompileError("more expressions than target columns")
+        return target_columns[position]
+    if isinstance(item.expr, ColumnRef):
+        return item.expr.name
+    raise CompileError(
+        f"expression {item.expr!r} needs an AS alias to name its output"
+    )
+
+
+def _lower_insert_values(stmt: InsertValues) -> InsertLiterals:
+    rows = []
+    for row in stmt.rows:
+        values = []
+        for expr in row:
+            if not isinstance(expr, Literal):
+                raise CompileError("INSERT VALUES must be literal rows")
+            values.append(expr.value)
+        rows.append(tuple(values))
+    return InsertLiterals(table=stmt.table, rows=tuple(rows))

@@ -1,0 +1,138 @@
+"""Commutativity and dependency analysis between chain elements.
+
+The compiler may reorder or parallelize elements only when doing so
+preserves semantics (paper §3, Figure 2 configuration 3). Two elements
+commute when, for every RPC, running them in either order produces the
+same emitted tuples, the same state mutations, and the same drops.
+
+We use a sound (conservative) decision procedure over the static
+analyses:
+
+1. *Field conflicts* — neither element writes a field the other reads or
+   writes (classic Bernstein conditions on the tuple).
+2. *Drop vs. effects* — if A may drop the RPC and B has observable
+   effects (state writes, mirrored copies), then "B then A" performs B's
+   effects on RPCs that "A then B" would never show to B.
+3. *Drop vs. nondeterminism of drops* — two droppers commute (the kept
+   set is the intersection of two order-independent predicates) provided
+   their predicates don't read each other's writes, which rule 1 covers.
+4. *Narrowing* — an element that narrows the tuple (explicit projection
+   without ``*``) is a barrier: reordering across it changes what fields
+   its successor sees, which rule 1 already catches via writes; narrowing
+   is additionally treated as writing "all fields" to stay sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from .analysis import ElementAnalysis
+
+#: Sentinel meaning "the element's write set is the whole tuple".
+ALL_FIELDS = "<all>"
+
+
+def _write_set(analysis: ElementAnalysis) -> Set[str]:
+    for handler in analysis.handlers.values():
+        if handler.narrowed_to is not None:
+            return {ALL_FIELDS}
+    return set(analysis.fields_written)
+
+
+def _read_set(analysis: ElementAnalysis) -> Set[str]:
+    return set(analysis.fields_read)
+
+
+def _conflicting(a: Set[str], b: Set[str]) -> bool:
+    if ALL_FIELDS in a:
+        return bool(b) or ALL_FIELDS in b
+    if ALL_FIELDS in b:
+        return bool(a)
+    return bool(a & b)
+
+
+@dataclass(frozen=True)
+class CommuteVerdict:
+    """Result of a pairwise commutativity check, with reasons when not."""
+
+    commutes: bool
+    reasons: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.commutes
+
+
+def commute(a: ElementAnalysis, b: ElementAnalysis) -> CommuteVerdict:
+    """Decide whether elements ``a`` and ``b`` may be reordered."""
+    reasons: List[str] = []
+    a_writes, b_writes = _write_set(a), _write_set(b)
+    a_reads, b_reads = _read_set(a), _read_set(b)
+    if _conflicting(a_writes, b_reads):
+        reasons.append(
+            f"{a.name} writes fields {sorted(a_writes)} that {b.name} reads"
+        )
+    if _conflicting(b_writes, a_reads):
+        reasons.append(
+            f"{b.name} writes fields {sorted(b_writes)} that {a.name} reads"
+        )
+    if _conflicting(a_writes, b_writes):
+        overlap = sorted(
+            (a_writes & b_writes) or a_writes | b_writes
+        )
+        reasons.append(
+            f"{a.name} and {b.name} write overlapping fields {overlap}"
+        )
+    for first, second in ((a, b), (b, a)):
+        if not first.can_drop:
+            continue
+        if second.observable_effects:
+            reasons.append(
+                f"{first.name} may drop RPCs and {second.name} has "
+                "observable effects"
+            )
+        elif second.history_dependent:
+            reasons.append(
+                f"{first.name} may drop RPCs and {second.name}'s behaviour "
+                "depends on the tuples it sees"
+            )
+    if a.can_multiply and b.can_multiply:
+        reasons.append(f"both {a.name} and {b.name} fan out RPCs")
+    return CommuteVerdict(commutes=not reasons, reasons=tuple(reasons))
+
+
+def can_parallelize(a: ElementAnalysis, b: ElementAnalysis) -> CommuteVerdict:
+    """Parallel execution is stricter than reordering: the runtime runs
+    both elements on the *same* input tuple and merges their outputs, so
+    additionally neither may fan out, and their drop decisions must be
+    independent (guaranteed by field-independence)."""
+    verdict = commute(a, b)
+    reasons = list(verdict.reasons)
+    if a.can_multiply or b.can_multiply:
+        reasons.append("fan-out elements cannot run in a parallel group")
+    return CommuteVerdict(commutes=not reasons, reasons=tuple(reasons))
+
+
+def ordering_violations(
+    order: List[str],
+    original: List[str],
+    analyses: dict,
+) -> List[str]:
+    """Check that ``order`` is reachable from ``original`` by swapping only
+    commuting adjacent pairs. Returns human-readable violations (empty =
+    the reorder is semantics-preserving).
+
+    A permutation is legal iff every pair that is *inverted* relative to
+    the original order commutes — inversion-counting argument: any legal
+    sequence of adjacent commuting swaps inverts exactly the commuting
+    pairs.
+    """
+    position = {name: i for i, name in enumerate(original)}
+    violations: List[str] = []
+    for i, first in enumerate(order):
+        for second in order[i + 1 :]:
+            if position[first] > position[second]:  # inverted pair
+                verdict = commute(analyses[first], analyses[second])
+                if not verdict:
+                    violations.extend(verdict.reasons)
+    return violations

@@ -1,0 +1,214 @@
+"""Intermediate representation for compiled ADN elements.
+
+The compiler lowers each validated element handler into a sequence of
+*statement pipelines*. A pipeline is a short list of dataflow operators
+applied to the element's current row set (which starts as the single
+arriving RPC tuple):
+
+.. code-block:: text
+
+    SELECT input.*, e.replica AS dst FROM input
+        JOIN endpoints e ON ...  WHERE ...
+    =>  Scan -> JoinState(endpoints, on) -> FilterRows(pred)
+            -> Project(...) -> EmitRows
+
+State-mutating statements lower to single-op pipelines (InsertRows,
+UpdateRows, DeleteRows, AssignVar). Operators reference expressions from
+:mod:`repro.dsl.ast_nodes` directly; the IR adds structure (what is a
+join, what feeds the wire) rather than a second expression language.
+
+The IR is what analyses (:mod:`repro.ir.analysis`), optimizations
+(:mod:`repro.ir.optimizer`) and all code-generation backends consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..dsl.ast_nodes import Expr, StateDecl, VarDecl
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for IR operators."""
+
+
+@dataclass(frozen=True)
+class Scan(Op):
+    """Bind the element's current input tuple as the initial row set."""
+
+
+@dataclass(frozen=True)
+class JoinState(Op):
+    """Inner-join current rows with a state table on a predicate.
+
+    For each current row, rows of ``table`` satisfying ``on`` are matched;
+    output cardinality is the match count (0 drops the row, >1 fans out).
+    """
+
+    table: str
+    on: Expr
+
+
+@dataclass(frozen=True)
+class FilterRows(Op):
+    """Keep only rows satisfying the predicate."""
+
+    predicate: Expr
+
+
+@dataclass(frozen=True)
+class Project(Op):
+    """Compute the output tuple.
+
+    ``keep_input`` mirrors ``*`` / ``input.*``: start from all fields of
+    the arriving tuple. ``star_tables`` adds all columns of joined tables
+    (``t.*``). ``items`` are explicit ``expr AS name`` outputs applied
+    last, so an aliased expression overrides an input field of the same
+    name (how elements modify RPCs, paper §5.1).
+    """
+
+    items: Tuple[Tuple[str, Expr], ...]
+    keep_input: bool = False
+    star_tables: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EmitRows(Op):
+    """Send the current rows downstream (the element's output stream)."""
+
+
+@dataclass(frozen=True)
+class InsertRows(Op):
+    """Append current rows (as projected) into a state table."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class InsertLiterals(Op):
+    """``INSERT INTO table VALUES ...`` — constant rows (init blocks)."""
+
+    table: str
+    rows: Tuple[Tuple[object, ...], ...]
+
+
+@dataclass(frozen=True)
+class UpdateRows(Op):
+    """In-place update of state-table rows matching ``where``.
+
+    Assignment expressions may reference the input tuple, element vars,
+    and the row being updated (by table-qualified or bare column name).
+    """
+
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class DeleteRows(Op):
+    """Delete state-table rows matching ``where``."""
+
+    table: str
+    where: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class AssignVar(Op):
+    """``SET var = expr [WHERE guard]``."""
+
+    var: str
+    expr: Expr
+    where: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class StatementIR:
+    """One lowered statement: an operator pipeline.
+
+    ``emits`` is True when the pipeline ends in :class:`EmitRows` —
+    i.e. this statement contributes to the element's output stream.
+    """
+
+    ops: Tuple[Op, ...]
+
+    @property
+    def emits(self) -> bool:
+        return bool(self.ops) and isinstance(self.ops[-1], EmitRows)
+
+    @property
+    def writes_state(self) -> bool:
+        return any(
+            isinstance(op, (InsertRows, InsertLiterals, UpdateRows, DeleteRows))
+            for op in self.ops
+        )
+
+
+@dataclass(frozen=True)
+class HandlerIR:
+    """All statement pipelines of one ``on request``/``on response``."""
+
+    kind: str
+    statements: Tuple[StatementIR, ...]
+
+
+@dataclass
+class ElementIR:
+    """A fully lowered element, ready for analysis and codegen."""
+
+    name: str
+    meta: Dict[str, object]
+    states: Tuple[StateDecl, ...]
+    vars: Tuple[VarDecl, ...]
+    init: Tuple[StatementIR, ...]
+    handlers: Dict[str, HandlerIR] = field(default_factory=dict)
+    #: populated by repro.ir.analysis.analyze_element
+    analysis: Optional[object] = None
+
+    def handler(self, kind: str) -> Optional[HandlerIR]:
+        return self.handlers.get(kind)
+
+    def state_decl(self, name: str) -> Optional[StateDecl]:
+        for decl in self.states:
+            if decl.name == name:
+                return decl
+        return None
+
+    @property
+    def position(self) -> str:
+        """Placement hint from ``meta { position: ...; }``."""
+        return str(self.meta.get("position", "any"))
+
+    @property
+    def mandatory(self) -> bool:
+        """True when the element must run outside the app binary (§3)."""
+        return bool(self.meta.get("mandatory", False))
+
+
+@dataclass
+class ChainIR:
+    """An ordered element chain between two services, after optimization.
+
+    ``stages`` groups elements that the optimizer proved independent and
+    may execute in parallel (paper §5.2): each stage is a tuple of element
+    names; stages execute in order, elements within a stage concurrently.
+    """
+
+    app: str
+    src: str
+    dst: str
+    elements: Tuple[ElementIR, ...]
+    stages: Tuple[Tuple[str, ...], ...] = ()
+    reordered: bool = False
+
+    def element(self, name: str) -> ElementIR:
+        for element in self.elements:
+            if element.name == name:
+                return element
+        raise KeyError(name)
+
+    @property
+    def element_names(self) -> Tuple[str, ...]:
+        return tuple(element.name for element in self.elements)

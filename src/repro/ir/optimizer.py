@@ -1,0 +1,102 @@
+"""Pass manager: element-level and chain-level optimization pipelines.
+
+``optimize_element`` runs the semantics-preserving statement rewrites
+(constant folding, predicate pushdown) and re-analyzes. ``optimize_chain``
+additionally reorders elements for early drop and groups them into
+parallel stages, producing a :class:`~repro.ir.nodes.ChainIR`. Every
+chain-level transform is guarded by :mod:`repro.ir.dependency`, and the
+result records whether reordering happened so callers (and tests) can
+check legality with :func:`repro.ir.dependency.ordering_violations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.functions import DEFAULT_REGISTRY, FunctionRegistry
+from .analysis import ElementAnalysis, analyze_element
+from .nodes import ChainIR, ElementIR
+from .passes import (
+    fold_constants_element,
+    parallel_stages,
+    pushdown_element,
+    reorder_for_early_drop,
+)
+
+
+@dataclass
+class OptimizerOptions:
+    """Which optimizations to apply (all on by default; benches toggle
+    these for the ablation experiment)."""
+
+    constant_folding: bool = True
+    predicate_pushdown: bool = True
+    reorder: bool = True
+    parallelize: bool = True
+
+
+@dataclass
+class ChainContext:
+    """Inputs to chain optimization beyond the elements themselves."""
+
+    app: str = "app"
+    src: str = "client"
+    dst: str = "server"
+    #: (first, second) ordering constraints from the app spec
+    pinned_pairs: Tuple[Tuple[str, str], ...] = ()
+    registry: FunctionRegistry = field(default_factory=lambda: DEFAULT_REGISTRY)
+
+
+def optimize_element(
+    element: ElementIR,
+    options: Optional[OptimizerOptions] = None,
+    registry: Optional[FunctionRegistry] = None,
+) -> ElementIR:
+    """Apply element-level passes; returns a new, re-analyzed ElementIR."""
+    options = options or OptimizerOptions()
+    registry = registry or DEFAULT_REGISTRY
+    if options.constant_folding:
+        element = fold_constants_element(element, registry)
+    if options.predicate_pushdown:
+        element = pushdown_element(element)
+    analyze_element(element, registry)
+    return element
+
+
+def optimize_chain(
+    elements: Sequence[ElementIR],
+    context: Optional[ChainContext] = None,
+    options: Optional[OptimizerOptions] = None,
+) -> ChainIR:
+    """Optimize an ordered element chain into a :class:`ChainIR`."""
+    context = context or ChainContext()
+    options = options or OptimizerOptions()
+    optimized = [
+        optimize_element(element, options, context.registry)
+        for element in elements
+    ]
+    analyses: Dict[str, ElementAnalysis] = {
+        element.name: element.analysis  # type: ignore[misc]
+        for element in optimized
+    }
+    order: List[str] = [element.name for element in optimized]
+    reordered = False
+    if options.reorder:
+        order, reordered = reorder_for_early_drop(
+            order, analyses, context.pinned_pairs
+        )
+    by_name = {element.name: element for element in optimized}
+    ordered_elements = tuple(by_name[name] for name in order)
+    if options.parallelize:
+        stages = parallel_stages(order, analyses)
+    else:
+        stages = tuple((name,) for name in order)
+    return ChainIR(
+        app=context.app,
+        src=context.src,
+        dst=context.dst,
+        elements=ordered_elements,
+        stages=stages,
+        reordered=reordered,
+    )

@@ -1,0 +1,20 @@
+"""Optimization passes over element and chain IR.
+
+Element-level passes rewrite statement pipelines in place-preserving,
+semantics-preserving ways (constant folding, predicate pushdown). Chain-
+level passes rearrange whole elements (early-drop reordering,
+parallelization grouping) guarded by :mod:`repro.ir.dependency`.
+"""
+
+from .constant_folding import fold_constants_element, fold_expr
+from .predicate_pushdown import pushdown_element
+from .reorder import reorder_for_early_drop
+from .parallelize import parallel_stages
+
+__all__ = [
+    "fold_constants_element",
+    "fold_expr",
+    "parallel_stages",
+    "pushdown_element",
+    "reorder_for_early_drop",
+]

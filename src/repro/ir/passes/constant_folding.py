@@ -1,0 +1,202 @@
+"""Constant folding over DSL expressions embedded in the IR.
+
+Folds literal-only arithmetic/comparisons/logic and prunes decided CASE
+branches and trivially-true/false predicates. Function calls are folded
+only when the function is deterministic and pure and all arguments are
+literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ...dsl.ast_nodes import (
+    BinaryOp,
+    CaseExpr,
+    Expr,
+    FuncCall,
+    Literal,
+    UnaryOp,
+)
+from ...dsl.functions import DEFAULT_REGISTRY, FunctionRegistry
+from ..expr_utils import TABLE_ARG_FUNCS
+from ..nodes import (
+    AssignVar,
+    DeleteRows,
+    ElementIR,
+    FilterRows,
+    HandlerIR,
+    JoinState,
+    Op,
+    Project,
+    StatementIR,
+    UpdateRows,
+)
+
+
+def fold_expr(expr: Expr, registry: Optional[FunctionRegistry] = None) -> Expr:
+    """Return an equivalent expression with constants folded."""
+    registry = registry or DEFAULT_REGISTRY
+    if isinstance(expr, BinaryOp):
+        left = fold_expr(expr.left, registry)
+        right = fold_expr(expr.right, registry)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            folded = _fold_binary(expr.op, left.value, right.value)
+            if folded is not _NO_FOLD:
+                return Literal(folded)
+        # boolean identities: (x AND true) = x, (x OR false) = x, ...
+        if expr.op == "and":
+            if isinstance(left, Literal):
+                return right if left.value is True else Literal(False)
+            if isinstance(right, Literal):
+                return left if right.value is True else Literal(False)
+        if expr.op == "or":
+            if isinstance(left, Literal):
+                return Literal(True) if left.value is True else right
+            if isinstance(right, Literal):
+                return Literal(True) if right.value is True else left
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = fold_expr(expr.operand, registry)
+        if isinstance(operand, Literal):
+            if expr.op == "not":
+                return Literal(not operand.value)
+            if expr.op == "-" and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+        return UnaryOp(expr.op, operand)
+    if isinstance(expr, FuncCall):
+        if expr.name in TABLE_ARG_FUNCS:
+            rest = tuple(fold_expr(a, registry) for a in expr.args[1:])
+            return FuncCall(expr.name, (expr.args[0],) + rest)
+        args = tuple(fold_expr(a, registry) for a in expr.args)
+        spec = registry.get(expr.name)
+        if (
+            spec.deterministic
+            and spec.pure
+            and spec.impl is not None
+            and all(isinstance(a, Literal) for a in args)
+        ):
+            try:
+                return Literal(spec.impl(*[a.value for a in args]))  # type: ignore[union-attr]
+            except Exception:
+                pass  # fold failure is not an error; leave the call
+        return FuncCall(expr.name, args)
+    if isinstance(expr, CaseExpr):
+        whens = []
+        for condition, value in expr.whens:
+            condition = fold_expr(condition, registry)
+            value = fold_expr(value, registry)
+            if isinstance(condition, Literal):
+                if condition.value:
+                    if not whens:
+                        return value  # first branch statically taken
+                    whens.append((Literal(True), value))
+                    return CaseExpr(tuple(whens), None)
+                continue  # statically dead branch
+            whens.append((condition, value))
+        default = (
+            fold_expr(expr.default, registry) if expr.default is not None else None
+        )
+        if not whens:
+            return default if default is not None else Literal(None)
+        return CaseExpr(tuple(whens), default)
+    return expr
+
+
+_NO_FOLD = object()
+
+
+def _fold_binary(op: str, left: object, right: object) -> object:
+    try:
+        if op == "and":
+            return bool(left) and bool(right)
+        if op == "or":
+            return bool(left) or bool(right)
+        if left is None or right is None:
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                return False
+            return _NO_FOLD
+        return {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left / right,
+            "%": lambda: left % right,
+            "==": lambda: left == right,
+            "!=": lambda: left != right,
+            "<": lambda: left < right,
+            "<=": lambda: left <= right,
+            ">": lambda: left > right,
+            ">=": lambda: left >= right,
+        }[op]()
+    except (TypeError, ZeroDivisionError, KeyError):
+        return _NO_FOLD
+
+
+def _fold_op(op: Op, registry: FunctionRegistry) -> Op:
+    if isinstance(op, JoinState):
+        return replace(op, on=fold_expr(op.on, registry))
+    if isinstance(op, FilterRows):
+        return replace(op, predicate=fold_expr(op.predicate, registry))
+    if isinstance(op, Project):
+        return replace(
+            op,
+            items=tuple((n, fold_expr(e, registry)) for n, e in op.items),
+        )
+    if isinstance(op, UpdateRows):
+        return replace(
+            op,
+            assignments=tuple(
+                (c, fold_expr(e, registry)) for c, e in op.assignments
+            ),
+            where=fold_expr(op.where, registry) if op.where is not None else None,
+        )
+    if isinstance(op, DeleteRows):
+        return replace(
+            op,
+            where=fold_expr(op.where, registry) if op.where is not None else None,
+        )
+    if isinstance(op, AssignVar):
+        return replace(
+            op,
+            expr=fold_expr(op.expr, registry),
+            where=fold_expr(op.where, registry) if op.where is not None else None,
+        )
+    return op
+
+
+def _fold_statement(stmt: StatementIR, registry: FunctionRegistry) -> StatementIR:
+    ops = []
+    for op in stmt.ops:
+        folded = _fold_op(op, registry)
+        if isinstance(folded, FilterRows) and isinstance(folded.predicate, Literal):
+            if folded.predicate.value:
+                continue  # WHERE true: drop the filter entirely
+        ops.append(folded)
+    return StatementIR(ops=tuple(ops))
+
+
+def fold_constants_element(
+    element: ElementIR, registry: Optional[FunctionRegistry] = None
+) -> ElementIR:
+    """Fold constants in every handler and init statement (returns a new
+    ElementIR; the input is not mutated)."""
+    registry = registry or DEFAULT_REGISTRY
+    handlers = {
+        kind: HandlerIR(
+            kind=kind,
+            statements=tuple(
+                _fold_statement(s, registry) for s in handler.statements
+            ),
+        )
+        for kind, handler in element.handlers.items()
+    }
+    return ElementIR(
+        name=element.name,
+        meta=dict(element.meta),
+        states=element.states,
+        vars=element.vars,
+        init=tuple(_fold_statement(s, registry) for s in element.init),
+        handlers=handlers,
+    )

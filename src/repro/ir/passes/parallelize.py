@@ -1,0 +1,49 @@
+"""Parallelization grouping: stage elements that may run concurrently.
+
+"If two elements do not operate on the same RPC fields, they can be
+executed in parallel" (paper §5.2). We form maximal runs of consecutive
+elements that pairwise satisfy :func:`repro.ir.dependency.can_parallelize`;
+each run becomes one *stage*. The data plane executes a stage by handing
+the same input tuple to each member and merging their field updates
+(drops intersect: the RPC survives only if every member emits it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis import ElementAnalysis
+from ..dependency import can_parallelize
+
+
+def parallel_stages(
+    order: Sequence[str],
+    analyses: Dict[str, ElementAnalysis],
+) -> Tuple[Tuple[str, ...], ...]:
+    """Group the ordered chain into parallel stages."""
+    stages: List[Tuple[str, ...]] = []
+    current: List[str] = []
+    for name in order:
+        if not current:
+            current = [name]
+            continue
+        if all(
+            can_parallelize(analyses[member], analyses[name])
+            for member in current
+        ):
+            current.append(name)
+        else:
+            stages.append(tuple(current))
+            current = [name]
+    if current:
+        stages.append(tuple(current))
+    return tuple(stages)
+
+
+def stage_cost_us(
+    stage: Sequence[str],
+    analyses: Dict[str, ElementAnalysis],
+    kind: str,
+) -> float:
+    """Latency of a stage = max member cost (members run concurrently)."""
+    return max(analyses[name].handler_cost_us(kind) for name in stage)

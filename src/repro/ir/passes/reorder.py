@@ -1,0 +1,76 @@
+"""Chain reordering: move droppers early, subject to commutativity.
+
+An RPC dropped by an element never reaches later elements, so executing
+cheap droppers (ACL, fault injection, admission control) first saves the
+work of every element behind them (paper Figure 2 configuration 3 — the
+access control runs on the switch *before* decompression after the
+compiler proves the reorder safe).
+
+The pass is a stable bubble sort that only swaps adjacent elements when
+:func:`repro.ir.dependency.commute` approves, so any produced order is
+reachable through semantics-preserving swaps by construction. Explicit
+``before``/``after`` constraints from the app spec pin pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..analysis import ElementAnalysis
+from ..dependency import commute
+
+
+def _priority(analysis: ElementAnalysis) -> Tuple[int, float]:
+    """Sort key: droppers first, then cheaper elements first."""
+    request_cost = analysis.handler_cost_us("request")
+    return (0 if analysis.can_drop else 1, request_cost)
+
+
+def reorder_by_priority(
+    order: Sequence[str],
+    analyses: Dict[str, ElementAnalysis],
+    priority,
+    pinned_pairs: Sequence[Tuple[str, str]] = (),
+) -> Tuple[List[str], bool]:
+    """Stable bubble sort by ``priority(name)``, swapping only adjacent
+    commuting pairs, honouring explicit (first, second) pins. Any result
+    is reachable through semantics-preserving swaps by construction.
+    Returns (new_order, changed)."""
+    names = list(order)
+    pinned: Set[Tuple[str, str]] = set(pinned_pairs)
+    changed = False
+    for _ in range(len(names)):
+        swapped_this_round = False
+        for i in range(len(names) - 1):
+            first, second = names[i], names[i + 1]
+            if priority(second) >= priority(first):
+                continue
+            if (first, second) in pinned:
+                continue
+            if not commute(analyses[first], analyses[second]):
+                continue
+            names[i], names[i + 1] = second, first
+            changed = True
+            swapped_this_round = True
+        if not swapped_this_round:
+            break
+    return names, changed
+
+
+def reorder_for_early_drop(
+    order: Sequence[str],
+    analyses: Dict[str, ElementAnalysis],
+    pinned_pairs: Sequence[Tuple[str, str]] = (),
+) -> Tuple[List[str], bool]:
+    """Return (new_order, changed).
+
+    ``pinned_pairs`` are (first, second) pairs that must keep their
+    relative order regardless of commutativity (explicit app
+    constraints).
+    """
+    return reorder_by_priority(
+        order,
+        analyses,
+        lambda name: _priority(analyses[name]),
+        pinned_pairs,
+    )

@@ -1,0 +1,59 @@
+"""Network substrate: flat-id virtual L2, TCP model, HTTP/2+gRPC framing,
+protobuf-style serialization, and the ADN compact wire format."""
+
+from .addresses import FlatId, InstanceName, split_destination
+from .http2 import (
+    Frame,
+    decode_grpc_message,
+    default_grpc_headers,
+    encode_grpc_message,
+    framing_overhead_bytes,
+    split_frames,
+)
+from .l2 import L2Frame, VirtualL2
+from .serialization import (
+    ProtoCodec,
+    decode_varint,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from .tcp import (
+    DEFAULT_MSS,
+    SEGMENT_OVERHEAD,
+    MessageFramer,
+    Segment,
+    TcpConnection,
+    TcpReceiver,
+    TcpSender,
+    wire_bytes_for_message,
+)
+from .wire import AdnWireCodec
+
+__all__ = [
+    "AdnWireCodec",
+    "DEFAULT_MSS",
+    "FlatId",
+    "Frame",
+    "InstanceName",
+    "L2Frame",
+    "MessageFramer",
+    "ProtoCodec",
+    "SEGMENT_OVERHEAD",
+    "Segment",
+    "TcpConnection",
+    "TcpReceiver",
+    "TcpSender",
+    "VirtualL2",
+    "decode_grpc_message",
+    "decode_varint",
+    "default_grpc_headers",
+    "encode_grpc_message",
+    "encode_varint",
+    "framing_overhead_bytes",
+    "split_destination",
+    "split_frames",
+    "wire_bytes_for_message",
+    "zigzag_decode",
+    "zigzag_encode",
+]

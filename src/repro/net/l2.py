@@ -1,0 +1,85 @@
+"""Virtual link layer: flat-identifier delivery.
+
+The only service ADN assumes from the network (paper §3): frames carry a
+destination :class:`~repro.net.addresses.FlatId` and the fabric delivers
+them. This models a cloud VPC / VXLAN overlay — FIFO per source-
+destination pair, no loss, one switch hop between machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import RuntimeFault
+from .addresses import FlatId
+
+
+@dataclass(frozen=True)
+class L2Frame:
+    """A frame on the virtual link layer."""
+
+    src: FlatId
+    dst: FlatId
+    payload: bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        return 14 + len(self.payload)  # flat header ≈ an Ethernet header
+
+
+class VirtualL2:
+    """The fabric: endpoints attach with a flat id and a delivery
+    callback; ``transmit`` forwards frames to the attached endpoint.
+
+    Delivery is synchronous — the simulator's processor models wrap
+    ``transmit`` with wire-latency timeouts; this class is only the
+    addressing/delivery substrate and byte accounting.
+    """
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[FlatId, Callable[[L2Frame], None]] = {}
+        self._names: Dict[FlatId, str] = {}
+        self.frames_delivered = 0
+        self.bytes_delivered = 0
+
+    def attach(
+        self, name: str, handler: Callable[[L2Frame], None]
+    ) -> FlatId:
+        """Attach an endpoint; returns its flat id."""
+        flat_id = FlatId.for_name(name)
+        if flat_id in self._endpoints:
+            raise RuntimeFault(f"endpoint {name!r} already attached")
+        self._endpoints[flat_id] = handler
+        self._names[flat_id] = name
+        return flat_id
+
+    def detach(self, flat_id: FlatId) -> None:
+        self._endpoints.pop(flat_id, None)
+        self._names.pop(flat_id, None)
+
+    def resolve(self, name: str) -> Optional[FlatId]:
+        flat_id = FlatId.for_name(name)
+        return flat_id if flat_id in self._endpoints else None
+
+    def transmit(self, frame: L2Frame) -> None:
+        handler = self._endpoints.get(frame.dst)
+        if handler is None:
+            raise RuntimeFault(
+                f"no endpoint {frame.dst} on the virtual L2 "
+                f"(attached: {sorted(self._names.values())})"
+            )
+        self.frames_delivered += 1
+        self.bytes_delivered += frame.wire_bytes
+        handler(frame)
+
+    def send(self, src_name: str, dst_name: str, payload: bytes) -> L2Frame:
+        """Convenience: build and transmit a frame by endpoint names."""
+        dst = self.resolve(dst_name)
+        if dst is None:
+            raise RuntimeFault(f"unknown endpoint {dst_name!r}")
+        frame = L2Frame(
+            src=FlatId.for_name(src_name), dst=dst, payload=payload
+        )
+        self.transmit(frame)
+        return frame

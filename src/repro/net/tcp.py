@@ -1,0 +1,180 @@
+"""Simplified TCP model: segmentation, reliable in-order byte streams,
+and wire-byte accounting.
+
+The underlay (a cloud virtual network, paper §3) is lossless and
+in-order, so we do not simulate retransmission; what matters for the
+reproduction is (a) correct byte-stream semantics for stacked codecs
+and (b) exact per-segment overhead bytes (Ethernet + IP + TCP headers)
+for wire accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import RuntimeFault
+
+ETHERNET_HEADER = 14
+IP_HEADER = 20
+TCP_HEADER = 20
+SEGMENT_OVERHEAD = ETHERNET_HEADER + IP_HEADER + TCP_HEADER
+DEFAULT_MSS = 1460
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One TCP segment on the wire."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    payload: bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        return SEGMENT_OVERHEAD + len(self.payload)
+
+
+@dataclass
+class TcpSender:
+    """Segments an outgoing byte stream."""
+
+    src_port: int
+    dst_port: int
+    mss: int = DEFAULT_MSS
+    next_seq: int = 0
+    bytes_sent: int = 0
+    wire_bytes_sent: int = 0
+
+    def send(self, data: bytes) -> List[Segment]:
+        if self.mss <= 0:
+            raise RuntimeFault("MSS must be positive")
+        segments: List[Segment] = []
+        for start in range(0, len(data), self.mss):
+            chunk = data[start : start + self.mss]
+            segments.append(
+                Segment(
+                    src_port=self.src_port,
+                    dst_port=self.dst_port,
+                    seq=self.next_seq,
+                    payload=chunk,
+                )
+            )
+            self.next_seq += len(chunk)
+        if not segments:  # zero-length write still costs a segment
+            segments.append(
+                Segment(
+                    src_port=self.src_port,
+                    dst_port=self.dst_port,
+                    seq=self.next_seq,
+                    payload=b"",
+                )
+            )
+        self.bytes_sent += len(data)
+        self.wire_bytes_sent += sum(s.wire_bytes for s in segments)
+        return segments
+
+
+@dataclass
+class TcpReceiver:
+    """Reassembles an in-order byte stream from segments.
+
+    Out-of-order arrival is buffered (the virtual L2 is FIFO per path, but
+    multiple paths could interleave); duplicate and overlapping segments
+    are rejected as model violations rather than silently handled.
+    """
+
+    next_seq: int = 0
+    _buffer: dict = field(default_factory=dict)
+    _stream: bytearray = field(default_factory=bytearray)
+
+    def receive(self, segment: Segment) -> bytes:
+        """Feed one segment; returns newly in-order bytes (may be b"")."""
+        if segment.seq < self.next_seq:
+            raise RuntimeFault(
+                f"duplicate/overlapping segment at seq {segment.seq}"
+            )
+        self._buffer[segment.seq] = segment.payload
+        delivered = bytearray()
+        while self.next_seq in self._buffer:
+            chunk = self._buffer.pop(self.next_seq)
+            delivered.extend(chunk)
+            self.next_seq += len(chunk)
+            if not chunk:
+                break  # zero-length keepalive
+        self._stream.extend(delivered)
+        return bytes(delivered)
+
+    @property
+    def stream(self) -> bytes:
+        return bytes(self._stream)
+
+
+class MessageFramer:
+    """Length-prefixed message framing over a byte stream (how mRPC and
+    the ADN transport delimit RPCs on TCP)."""
+
+    PREFIX = 4
+
+    def __init__(self) -> None:
+        self._pending = bytearray()
+
+    @staticmethod
+    def frame(message: bytes) -> bytes:
+        if len(message) > 0xFFFFFFFF:
+            raise RuntimeFault("message too large to frame")
+        return len(message).to_bytes(4, "big") + message
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Feed stream bytes; return completed messages."""
+        self._pending.extend(data)
+        messages: List[bytes] = []
+        while True:
+            if len(self._pending) < self.PREFIX:
+                return messages
+            length = int.from_bytes(self._pending[: self.PREFIX], "big")
+            if len(self._pending) < self.PREFIX + length:
+                return messages
+            start = self.PREFIX
+            messages.append(bytes(self._pending[start : start + length]))
+            del self._pending[: start + length]
+
+
+def wire_bytes_for_message(message_bytes: int, mss: int = DEFAULT_MSS) -> int:
+    """Total on-the-wire bytes for one framed message over TCP."""
+    framed = MessageFramer.PREFIX + message_bytes
+    segments = max(1, -(-framed // mss))
+    return framed + segments * SEGMENT_OVERHEAD
+
+
+@dataclass
+class TcpConnection:
+    """A bidirectional connection glueing sender/receiver pairs; used by
+    processor models that exchange framed messages."""
+
+    a_port: int
+    b_port: int
+    mss: int = DEFAULT_MSS
+
+    def __post_init__(self) -> None:
+        self.a_sender = TcpSender(self.a_port, self.b_port, self.mss)
+        self.b_sender = TcpSender(self.b_port, self.a_port, self.mss)
+        self.a_receiver = TcpReceiver()
+        self.b_receiver = TcpReceiver()
+        self.a_framer = MessageFramer()
+        self.b_framer = MessageFramer()
+
+    def send_message(self, from_a: bool, message: bytes) -> List[Segment]:
+        sender = self.a_sender if from_a else self.b_sender
+        return sender.send(MessageFramer.frame(message))
+
+    def deliver(self, to_a: bool, segments: List[Segment]) -> List[bytes]:
+        receiver = self.a_receiver if to_a else self.b_receiver
+        framer = self.a_framer if to_a else self.b_framer
+        messages: List[bytes] = []
+        for segment in segments:
+            data = receiver.receive(segment)
+            if data:
+                messages.extend(framer.feed(data))
+        return messages

@@ -1,0 +1,56 @@
+"""Execution platforms for ADN processors.
+
+The paper (§3, Figure 2) considers element placement in the application's
+RPC library, in the OS kernel (eBPF), in a separate user-space process
+(sidecar / mRPC service), on a SmartNIC, or on a programmable switch (P4).
+Each placement implies a code-generation backend and a set of legality
+constraints enforced by :mod:`repro.compiler.backends`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Platform(enum.Enum):
+    """Where an element's compiled code executes."""
+
+    RPC_LIB = "rpc_lib"  # inside the application's (modified) RPC library
+    MRPC = "mrpc"  # the mRPC managed-service process (paper's prototype)
+    KERNEL_EBPF = "kernel_ebpf"  # in-kernel eBPF program
+    SIDECAR = "sidecar"  # separate user-space proxy process
+    SMARTNIC = "smartnic"  # on-path SmartNIC cores
+    SWITCH_P4 = "switch_p4"  # programmable switch pipeline
+
+    @property
+    def is_hardware(self) -> bool:
+        return self in (Platform.SMARTNIC, Platform.SWITCH_P4)
+
+    @property
+    def in_app_binary(self) -> bool:
+        """True when code shares a trust domain with the application
+        (relevant for ``mandatory``/``outside_app`` policies, §3)."""
+        return self is Platform.RPC_LIB
+
+    @property
+    def backend_name(self) -> str:
+        """The code-generation backend used for this platform."""
+        return {
+            Platform.RPC_LIB: "python",
+            Platform.MRPC: "python",
+            Platform.SIDECAR: "wasm",
+            Platform.KERNEL_EBPF: "ebpf",
+            Platform.SMARTNIC: "ebpf",  # SmartNIC model runs the eBPF subset
+            Platform.SWITCH_P4: "p4",
+        }[self]
+
+
+#: Platforms able to run arbitrary (software) element logic.
+SOFTWARE_PLATFORMS = frozenset(
+    {Platform.RPC_LIB, Platform.MRPC, Platform.SIDECAR}
+)
+
+#: Platforms with restricted programming models.
+RESTRICTED_PLATFORMS = frozenset(
+    {Platform.KERNEL_EBPF, Platform.SMARTNIC, Platform.SWITCH_P4}
+)

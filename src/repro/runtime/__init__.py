@@ -1,0 +1,73 @@
+"""Data-plane runtime: RPC messages, placed processors, and the
+ADN-over-mRPC path."""
+
+from .message import (
+    RpcOutcome,
+    Row,
+    is_aborted,
+    make_abort,
+    make_request,
+    make_response,
+    payload_bytes,
+    reset_rpc_ids,
+)
+from .filters import (
+    apply_filter,
+    apply_filters,
+    wrap_circuit_breaker,
+    wrap_congestion_control,
+    wrap_rate_shaper,
+    wrap_retry,
+    wrap_timeout,
+)
+from .gateway import (
+    EgressGateway,
+    IngressGateway,
+    PeeringReport,
+    downshift_transfer,
+    peer_translate,
+    peering_savings,
+)
+from .mrpc import AdnMrpcStack, default_plan
+from .telemetry import ProcessorReport, TelemetryCollector, TelemetryStore
+from .processor import (
+    SWITCH_LOCATION,
+    PlacementPlan,
+    PlacementSegment,
+    ProcessorRuntime,
+    SegmentResult,
+)
+
+__all__ = [
+    "AdnMrpcStack",
+    "PlacementPlan",
+    "PlacementSegment",
+    "ProcessorRuntime",
+    "RpcOutcome",
+    "Row",
+    "SWITCH_LOCATION",
+    "SegmentResult",
+    "apply_filter",
+    "apply_filters",
+    "default_plan",
+    "downshift_transfer",
+    "EgressGateway",
+    "IngressGateway",
+    "PeeringReport",
+    "peer_translate",
+    "peering_savings",
+    "ProcessorReport",
+    "TelemetryCollector",
+    "TelemetryStore",
+    "wrap_circuit_breaker",
+    "wrap_congestion_control",
+    "wrap_rate_shaper",
+    "wrap_retry",
+    "wrap_timeout",
+    "is_aborted",
+    "make_abort",
+    "make_request",
+    "make_response",
+    "payload_bytes",
+    "reset_rpc_ids",
+]

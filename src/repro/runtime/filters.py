@@ -1,0 +1,298 @@
+"""Stream-shaping filter operators (paper §5.1).
+
+"Another class of complex processing involves 'shaping' the RPC stream
+via mechanisms such as timeouts, retries, and congestion control. We can
+introduce special elements of type *filters* to express their
+operation." Filters are declared in the DSL (``filter Retry { use
+operator retry; }``) and bound to the platform-specific operators
+implemented here. Each operator wraps the RPC call path:
+
+* ``timeout`` — abort the caller's wait after a deadline (the in-flight
+  work continues to consume resources, as in real systems);
+* ``retry`` — re-issue on retryable aborts (injected faults, timeouts),
+  up to a budget;
+* ``rate_limit_shaper`` — pace issues to a target rate (leaky bucket);
+* ``congestion_control`` — an AIMD window on in-flight RPCs.
+
+Operators compose: ``apply_filters`` wraps the base call in declaration
+order, so ``Retry`` outside ``Timeout`` retries timed-out attempts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from ..dsl.ast_nodes import FilterDef
+from ..errors import RuntimeFault
+from ..sim.engine import Simulator
+from .message import RpcOutcome
+
+CallFn = Callable[..., Generator]
+
+#: aborts considered transient (safe/useful to retry) by default
+DEFAULT_RETRYABLE = ("Fault", "Timeout")
+
+
+class _TimeoutSentinel:
+    """Marks the timer winning the race against the in-flight RPC."""
+
+
+_TIMED_OUT = _TimeoutSentinel()
+
+
+def wrap_timeout(sim: Simulator, call: CallFn, timeout_ms: float) -> CallFn:
+    """Abort the caller's wait after ``timeout_ms``. The late response,
+    if it ever arrives, is discarded (its resource usage still counts —
+    timeouts do not refund work)."""
+    timeout_s = timeout_ms * 1e-3
+
+    def shaped(**fields) -> Generator:
+        issued_at = sim.now
+        in_flight = sim.process(call(**fields))
+        timer = sim.timeout(timeout_s, value=_TIMED_OUT)
+        winner = yield sim.any_of([in_flight, timer])
+        if isinstance(winner, _TimeoutSentinel):
+            return RpcOutcome(
+                request=dict(fields),
+                response={"status": "aborted:Timeout", "kind": "response"},
+                issued_at=issued_at,
+                completed_at=sim.now,
+                aborted_by="Timeout",
+            )
+        return winner
+
+    return shaped
+
+
+def wrap_retry(
+    sim: Simulator,
+    call: CallFn,
+    max_retries: int,
+    retry_on: Sequence[str] = DEFAULT_RETRYABLE,
+    backoff_ms: float = 0.0,
+) -> CallFn:
+    """Re-issue RPCs aborted by a retryable element, up to
+    ``max_retries`` additional attempts with optional fixed backoff."""
+    retryable = frozenset(retry_on)
+
+    def shaped(**fields) -> Generator:
+        attempts = 0
+        while True:
+            outcome: RpcOutcome = yield sim.process(call(**fields))
+            outcome.notes["attempts"] = attempts + 1
+            if outcome.ok or attempts >= max_retries:
+                return outcome
+            if outcome.aborted_by not in retryable:
+                return outcome
+            attempts += 1
+            if backoff_ms > 0:
+                yield sim.timeout(backoff_ms * 1e-3)
+
+    return shaped
+
+
+def wrap_rate_shaper(sim: Simulator, call: CallFn, rate_rps: float) -> CallFn:
+    """Pace issues to at most ``rate_rps``: each issue reserves the next
+    slot on a virtual clock (a leaky bucket with no burst)."""
+    if rate_rps <= 0:
+        raise RuntimeFault("rate_limit_shaper needs a positive rate")
+    interval = 1.0 / rate_rps
+    state = {"next_slot": 0.0}
+
+    def shaped(**fields) -> Generator:
+        slot = max(state["next_slot"], sim.now)
+        state["next_slot"] = slot + interval
+        if slot > sim.now:
+            yield sim.timeout(slot - sim.now)
+        outcome = yield sim.process(call(**fields))
+        return outcome
+
+    return shaped
+
+
+class _AimdWindow:
+    """Additive-increase / multiplicative-decrease in-flight window."""
+
+    def __init__(self, sim: Simulator, initial: float = 4.0, floor: float = 1.0):
+        self.sim = sim
+        self.cwnd = initial
+        self.floor = floor
+        self.in_flight = 0
+        self._waiters: List = []
+
+    def acquire(self):
+        event = self.sim.event()
+        if self.in_flight < self.cwnd:
+            self.in_flight += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, ok: bool) -> None:
+        if ok:
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+        else:
+            self.cwnd = max(self.floor, self.cwnd / 2.0)
+        self.in_flight -= 1
+        while self._waiters and self.in_flight < self.cwnd:
+            self.in_flight += 1
+            self._waiters.pop(0).succeed()
+
+
+def wrap_congestion_control(
+    sim: Simulator, call: CallFn, initial_window: float = 4.0
+) -> CallFn:
+    """Gate issues on an AIMD window: grow on success, halve on abort.
+    Exposes the window object as ``shaped.window`` for observability."""
+    window = _AimdWindow(sim, initial=initial_window)
+
+    def shaped(**fields) -> Generator:
+        yield window.acquire()
+        try:
+            outcome: RpcOutcome = yield sim.process(call(**fields))
+        except BaseException:
+            window.release(ok=False)
+            raise
+        window.release(ok=outcome.ok)
+        outcome.notes["cwnd"] = window.cwnd
+        return outcome
+
+    shaped.window = window  # type: ignore[attr-defined]
+    return shaped
+
+
+class _CircuitBreaker:
+    """Trip open after ``failure_threshold`` consecutive failures;
+    half-open after ``reset_ms`` lets one probe through."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        failure_threshold: int = 5,
+        reset_ms: float = 50.0,
+    ):
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.reset_s = reset_ms * 1e-3
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.short_circuited = 0
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self.sim.now - self.opened_at >= self.reset_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open":
+            return True  # one probe; outcome decides
+        self.short_circuited += 1
+        return False
+
+    def record(self, ok: bool) -> None:
+        if ok:
+            self.consecutive_failures = 0
+            self.opened_at = None
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self.opened_at = self.sim.now
+
+
+def wrap_circuit_breaker(
+    sim: Simulator,
+    call: CallFn,
+    failure_threshold: int = 5,
+    reset_ms: float = 50.0,
+) -> CallFn:
+    """Short-circuit calls while the downstream is failing; probe after
+    a cool-down. Exposes the breaker as ``shaped.breaker``."""
+    breaker = _CircuitBreaker(sim, failure_threshold, reset_ms)
+
+    def shaped(**fields) -> Generator:
+        if not breaker.allow():
+            return RpcOutcome(
+                request=dict(fields),
+                response={
+                    "status": "aborted:CircuitBreaker",
+                    "kind": "response",
+                },
+                issued_at=sim.now,
+                completed_at=sim.now,
+                aborted_by="CircuitBreaker",
+            )
+        outcome: RpcOutcome = yield sim.process(call(**fields))
+        breaker.record(outcome.ok)
+        outcome.notes["breaker_state"] = breaker.state
+        return outcome
+
+    shaped.breaker = breaker  # type: ignore[attr-defined]
+    return shaped
+
+
+def apply_filter(sim: Simulator, call: CallFn, filter_def: FilterDef) -> CallFn:
+    """Wrap ``call`` with one declared filter."""
+    meta = filter_def.meta
+    operator = filter_def.operator
+    if operator == "timeout":
+        return wrap_timeout(sim, call, float(meta.get("timeout_ms", 25.0)))
+    if operator == "retry":
+        shaped = call
+        timeout_ms = meta.get("timeout_ms")
+        if timeout_ms is not None:
+            # per-attempt deadline: the timeout sits inside the retry
+            shaped = wrap_timeout(sim, shaped, float(timeout_ms))
+        retry_on = meta.get("retry_on")
+        retryable = (
+            tuple(part.strip() for part in str(retry_on).split(","))
+            if retry_on
+            else DEFAULT_RETRYABLE
+        )
+        return wrap_retry(
+            sim,
+            shaped,
+            max_retries=int(meta.get("max_retries", 3)),
+            retry_on=retryable,
+            backoff_ms=float(meta.get("backoff_ms", 0.0)),
+        )
+    if operator == "rate_limit_shaper":
+        return wrap_rate_shaper(sim, call, float(meta.get("rate", 1000.0)))
+    if operator == "congestion_control":
+        return wrap_congestion_control(
+            sim, call, float(meta.get("window", 4.0))
+        )
+    if operator == "circuit_breaker":
+        return wrap_circuit_breaker(
+            sim,
+            call,
+            failure_threshold=int(meta.get("failure_threshold", 5)),
+            reset_ms=float(meta.get("reset_ms", 50.0)),
+        )
+    raise RuntimeFault(f"no runtime for filter operator {operator!r}")
+
+
+def apply_filters(
+    sim: Simulator,
+    call: CallFn,
+    filter_defs: Sequence[FilterDef],
+    order: Optional[Sequence[str]] = None,
+) -> CallFn:
+    """Wrap ``call`` with every declared filter.
+
+    Wrapping honours chain order: the *first* filter in the chain is the
+    outermost wrapper (it sees the retries/timeouts of inner ones).
+    """
+    by_name = {f.name: f for f in filter_defs}
+    names = list(order) if order is not None else list(by_name)
+    shaped = call
+    for name in reversed(names):
+        if name in by_name:
+            shaped = apply_filter(sim, shaped, by_name[name])
+    return shaped

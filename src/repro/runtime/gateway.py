@@ -1,0 +1,220 @@
+"""External communication: ingress/egress gateways and application
+peering (paper §7).
+
+"As with service meshes, such communication can happen via designated
+ingress and egress locations for an application. The ingress locations
+translate incoming IP packets into the ADN format, and the egress
+locations do the reverse translation."
+
+"When two ADN-based applications communicate, instead of translating
+the sender ADN's messages to a standard format and then translating the
+standard format to the receiver ADN's format, we can directly translate
+information between the two ADNs."
+
+* :class:`IngressGateway` — parses a conventional gRPC-over-HTTP/2
+  message (real bytes) into an ADN tuple.
+* :class:`EgressGateway` — the reverse: wraps an ADN tuple back into
+  gRPC framing for an external consumer.
+* :func:`peer_translate` — ADN→ADN header translation between two apps'
+  wire formats, skipping the down-shift entirely.
+* :func:`peering_savings` — bytes/CPU comparison between peering and
+  down-shifting, used by the peering benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..compiler.headers import HeaderLayout
+from ..dsl.schema import RpcSchema
+from ..errors import RuntimeFault
+from ..net.http2 import decode_grpc_message, default_grpc_headers, encode_grpc_message
+from ..net.serialization import ProtoCodec
+from ..net.wire import AdnWireCodec
+from ..sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from .message import Row
+
+#: meta-fields the gateways map between HTTP headers and tuple fields
+_HEADER_FIELDS = ("rpc_id", "kind", "status", "username", "obj_id")
+
+
+class IngressGateway:
+    """Translates external gRPC messages into ADN tuples.
+
+    The external side speaks the conventional wrapped stack; the
+    internal side is the app's own wire format. This is where the two
+    worlds meet — once, at the edge, instead of on every hop.
+    """
+
+    def __init__(self, schema: RpcSchema, service: str = "ingress"):
+        self.schema = schema
+        self.service = service
+        self.codec = ProtoCodec(schema)
+        self.translated = 0
+
+    def translate_in(self, grpc_bytes: bytes) -> Row:
+        """External gRPC message → ADN tuple."""
+        headers, payload = decode_grpc_message(grpc_bytes)
+        fields = self.codec.decode(payload)
+        path = headers.get(":path", "/adn.App/call")
+        method = path.rsplit("/", 1)[-1]
+        tuple_row: Row = {
+            "src": headers.get("x-src", "external"),
+            "dst": headers.get(":authority", "unknown"),
+            "rpc_id": int(headers.get("x-rpc-id", "0")),
+            "method": method,
+            "kind": headers.get("x-kind", "request"),
+            "status": headers.get("x-status", "ok"),
+        }
+        for name in self.schema.application_field_names():
+            tuple_row[name] = fields.get(name)
+        self.translated += 1
+        return tuple_row
+
+    def cost_us(self, costs: Optional[CostModel] = None) -> float:
+        """CPU cost of one inbound translation: full wrapped-stack parse
+        plus tuple construction."""
+        costs = costs or DEFAULT_COST_MODEL
+        return (
+            costs.envoy_http2_parse_us
+            + costs.envoy_header_decode_us
+            + costs.protobuf_deserialize_us
+        )
+
+
+class EgressGateway:
+    """Translates ADN tuples back into external gRPC messages."""
+
+    def __init__(self, schema: RpcSchema, authority: str = "external"):
+        self.schema = schema
+        self.authority = authority
+        self.codec = ProtoCodec(schema)
+        self.translated = 0
+
+    def translate_out(self, tuple_row: Row) -> bytes:
+        app_fields = {
+            name: tuple_row.get(name)
+            for name in self.schema.application_field_names()
+        }
+        payload = self.codec.encode(app_fields)
+        headers = default_grpc_headers(
+            str(tuple_row.get("method", "call")), self.authority
+        )
+        headers["x-rpc-id"] = str(tuple_row.get("rpc_id", 0))
+        headers["x-kind"] = str(tuple_row.get("kind", "request"))
+        headers["x-status"] = str(tuple_row.get("status", "ok"))
+        headers["x-src"] = str(tuple_row.get("src", ""))
+        self.translated += 1
+        return encode_grpc_message(headers, payload)
+
+    def cost_us(self, costs: Optional[CostModel] = None) -> float:
+        costs = costs or DEFAULT_COST_MODEL
+        return (
+            costs.protobuf_serialize_us
+            + costs.http2_framing_us
+        )
+
+
+# -- application peering ------------------------------------------------------
+
+
+@dataclass
+class PeeringReport:
+    """What one peered (or down-shifted) transfer cost."""
+
+    wire_bytes: int
+    cpu_us: float
+    fields_dropped: Tuple[str, ...] = ()
+
+
+def peer_translate(
+    sender_codec: AdnWireCodec,
+    receiver_codec: AdnWireCodec,
+    message: Row,
+) -> Tuple[bytes, PeeringReport]:
+    """Directly translate a tuple from one ADN's wire format to
+    another's (paper §7: removes a translation step and the IP
+    down-shift). Fields the receiver does not carry are dropped —
+    reported, never silently lost."""
+    sender_fields = set(sender_codec.layout.field_names)
+    receiver_fields = set(receiver_codec.layout.field_names)
+    dropped = tuple(
+        sorted(
+            name
+            for name in sender_fields & set(message)
+            if name not in receiver_fields
+        )
+    )
+    carried = {
+        name: value
+        for name, value in message.items()
+        if name in receiver_fields
+    }
+    encoded = receiver_codec.encode(carried)
+    costs = DEFAULT_COST_MODEL
+    cpu = costs.header_codec_us(len(sender_codec.layout.fields)) + (
+        costs.header_codec_us(len(receiver_codec.layout.fields))
+    )
+    return encoded, PeeringReport(
+        wire_bytes=len(encoded), cpu_us=cpu, fields_dropped=dropped
+    )
+
+
+def downshift_transfer(
+    sender_codec: AdnWireCodec,
+    receiver_codec: AdnWireCodec,
+    schema: RpcSchema,
+    message: Row,
+) -> Tuple[bytes, PeeringReport]:
+    """The alternative the paper criticizes: sender egress → standard
+    gRPC format → receiver ingress. Costs both gateway translations and
+    puts the full wrapped message on the wire."""
+    egress = EgressGateway(schema)
+    ingress = IngressGateway(schema)
+    grpc_bytes = egress.translate_out(message)
+    reparsed = ingress.translate_in(grpc_bytes)
+    carried = {
+        name: value
+        for name, value in reparsed.items()
+        if name in receiver_codec.layout.field_names
+    }
+    encoded = receiver_codec.encode(carried)
+    cpu = (
+        egress.cost_us()
+        + ingress.cost_us()
+        + DEFAULT_COST_MODEL.header_codec_us(
+            len(receiver_codec.layout.fields)
+        )
+    )
+    return encoded, PeeringReport(
+        wire_bytes=len(grpc_bytes),  # what actually crossed between apps
+        cpu_us=cpu,
+    )
+
+
+def peering_savings(
+    sender_layout: HeaderLayout,
+    receiver_layout: HeaderLayout,
+    schema: RpcSchema,
+    message: Row,
+) -> Dict[str, float]:
+    """Bytes/CPU of peering vs down-shifting for one message."""
+    sender_codec = AdnWireCodec(sender_layout)
+    receiver_codec = AdnWireCodec(receiver_layout)
+    _peered_bytes, peered = peer_translate(
+        sender_codec, receiver_codec, message
+    )
+    _shifted_bytes, shifted = downshift_transfer(
+        sender_codec, receiver_codec, schema, message
+    )
+    if peered.wire_bytes <= 0:
+        raise RuntimeFault("peered transfer produced no bytes")
+    return {
+        "peered_bytes": float(peered.wire_bytes),
+        "downshift_bytes": float(shifted.wire_bytes),
+        "peered_cpu_us": peered.cpu_us,
+        "downshift_cpu_us": shifted.cpu_us,
+        "byte_ratio": shifted.wire_bytes / peered.wire_bytes,
+        "cpu_ratio": shifted.cpu_us / max(peered.cpu_us, 1e-9),
+    }

@@ -1,0 +1,467 @@
+"""The ADN data-plane path over mRPC (the paper's prototype processor).
+
+``AdnMrpcStack`` wires a compiled chain + placement plan into a runnable
+RPC path on the simulated cluster:
+
+.. code-block:: text
+
+    client app ──shm──▶ [client-side segments] ──wire──▶ [switch segment]
+        ──wire──▶ [server-side segments] ──shm──▶ server app
+    (response traverses the same segments in reverse)
+
+Key fidelity points:
+
+* messages are *really* encoded with the hop's minimal header layout
+  (:class:`~repro.net.wire.AdnWireCodec`) — wire sizes are measured, not
+  assumed;
+* elements *really* execute (drops, rewrites, state);
+* transport CPU is charged to whoever owns the wire on each side: the
+  mRPC engine (default) or the RPC library itself ("proxyless", Figure 2
+  config 1);
+* an RPC aborted by an element turns around at that processor and pays
+  only the return hops it actually crossed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..compiler.compiler import CompiledChain
+from ..compiler.headers import plan_hop_headers
+from ..dsl.functions import FunctionRegistry
+from ..dsl.schema import RpcSchema
+from ..net.tcp import wire_bytes_for_message
+from ..net.wire import AdnWireCodec
+from ..platforms import Platform
+from ..sim.cluster import Cluster
+from ..sim.engine import US, Simulator
+from ..sim.resources import Resource
+from .message import (
+    Row,
+    RpcOutcome,
+    make_abort,
+    make_request,
+    make_response,
+    payload_bytes,
+)
+from .processor import (
+    SWITCH_LOCATION,
+    PlacementPlan,
+    PlacementSegment,
+    ProcessorRuntime,
+)
+
+
+def default_plan(chain: CompiledChain) -> PlacementPlan:
+    """The prototype's placement: every element in the client-side mRPC
+    engine (the paper's §6 setup compiles the chain into engine modules
+    on the sender)."""
+    segment = PlacementSegment(
+        platform=Platform.MRPC,
+        machine="client-host",
+        elements=chain.element_order,
+        stages=chain.ir.stages,
+    )
+    return PlacementPlan(
+        segments=[segment],
+        description="all elements in the client-side mRPC engine",
+    )
+
+
+class AdnMrpcStack:
+    """A runnable ADN RPC path. Use ``stack.call(**fields)`` as the
+    workload generator's call function."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        chain: CompiledChain,
+        schema: RpcSchema,
+        registry: FunctionRegistry,
+        plan: Optional[PlacementPlan] = None,
+        handcoded: bool = False,
+        client_service: str = "A",
+        server_service: str = "B",
+        server_replicas: int = 1,
+        filters: Optional[Sequence] = None,
+        filter_order: Optional[Sequence[str]] = None,
+        guarantees=None,
+        server_handler=None,
+        tracing: bool = False,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.chain = chain
+        self.schema = schema
+        self.registry = registry
+        self.plan = plan or default_plan(chain)
+        self.costs = cluster.costs
+        self.client_service = client_service
+        self.server_service = server_service
+        self.server_replicas = server_replicas
+        #: requested delivery guarantees (GuaranteeDecl or None): ordered
+        #: adds a seq field to every hop header, reliable an ack field
+        self.guarantees = guarantees
+        #: optional application logic at the destination: a generator
+        #: function(request_row) that may itself call other stacks (a
+        #: microservice calling downstream services) and returns a dict
+        #: of application-field overrides for the response
+        self.server_handler = server_handler
+        #: when set, every outcome carries notes["trace"]: a list of
+        #: (span_name, enter_s, exit_s) covering processors and hops
+        #: (§5.3: processors report tracing information)
+        self.tracing = tracing
+        self._next_seq = 0
+        self._last_seq_seen = -1
+        self.out_of_order_detected = 0
+        registry.bind_clock(lambda: sim.now)
+
+        self.client_app: Resource = cluster.machine("client-host").thread(
+            "client-app"
+        )
+        self.server_app: Resource = cluster.machine("server-host").thread(
+            "server-app", capacity=max(1, server_replicas)
+        )
+        self.processors: List[ProcessorRuntime] = [
+            ProcessorRuntime(sim, cluster, segment, chain, registry, handcoded)
+            for segment in self.plan.segments
+        ]
+        self._transport: Dict[str, Resource] = {}
+        for side, machine_name, mode in (
+            ("client", "client-host", self.plan.client_transport),
+            ("server", "server-host", self.plan.server_transport),
+        ):
+            machine = cluster.machine(machine_name)
+            if mode == "engine":
+                self._transport[side] = machine.thread("mrpc-engine")
+            else:  # proxyless: the app thread owns the wire
+                self._transport[side] = (
+                    self.client_app if side == "client" else self.server_app
+                )
+        #: execution order along the path (the plan may have reordered
+        #: elements relative to the chain, e.g. for switch offload)
+        self._traversal_order = [
+            name
+            for segment in self.plan.segments
+            for name in segment.elements
+        ]
+        self._seed_load_balancers()
+        self._codec = self._build_codec()
+        self.wire_bytes_total = 0
+        self.mirrored_total = 0
+        self._attach_l2()
+        # stream-shaping filters (retries, timeouts, ...) wrap the path;
+        # ``call`` is what workload generators should drive
+        if filters:
+            from .filters import apply_filters
+
+            self.call = apply_filters(
+                self.sim, self.call_raw, list(filters), order=filter_order
+            )
+        else:
+            self.call = self.call_raw
+
+    # -- setup -----------------------------------------------------------
+
+    def _seed_load_balancers(self) -> None:
+        replicas = [
+            f"{self.server_service}.{index + 1}"
+            for index in range(self.server_replicas)
+        ]
+        for processor in self.processors:
+            for name in processor.segment.elements:
+                analysis = self.chain.elements[name].analysis
+                if "endpoints" in {
+                    decl.name for decl in self.chain.elements[name].ir.states
+                }:
+                    processor.seed_endpoints(name, replicas)
+                del analysis
+
+    def _build_codec(self) -> AdnWireCodec:
+        """Codecs for the client→server wire hop, from the minimal
+        header plans (per direction) at the last client-side chain
+        position."""
+        boundary = -1
+        for index, name in enumerate(self.chain.element_order):
+            location = self.plan.element_locations().get(name)
+            if location and location[1] == "client-host":
+                boundary = index
+        plans = plan_hop_headers(
+            self.chain.ir, self.schema, [boundary],
+            guarantees=self.guarantees,
+        )
+        self.hop_plan = plans[0]
+        response_plans = plan_hop_headers(
+            self.chain.ir, self.schema, [boundary], kind="response",
+            guarantees=self.guarantees,
+        )
+        self.response_hop_plan = response_plans[0]
+        self._response_codec = AdnWireCodec(self.response_hop_plan.layout)
+        return AdnWireCodec(self.hop_plan.layout)
+
+    def _attach_l2(self) -> None:
+        """Attach both hosts' engines to the cluster's flat-identifier
+        virtual link layer (the only network service ADN assumes, §3).
+        Frames delivered to an endpoint land in its inbox; the path
+        runner consumes them after paying the wire latency."""
+        self._l2_inbox: Dict[str, List[bytes]] = {"client": [], "server": []}
+        l2 = self.cluster.l2
+        self._l2_names = {
+            "client": f"{self.client_service}.0/engine",
+            "server": f"{self.server_service}/engine",
+        }
+        for side, name in self._l2_names.items():
+            if l2.resolve(name) is None:
+                l2.attach(
+                    name,
+                    lambda frame, side=side: self._l2_inbox[side].append(
+                        frame.payload
+                    ),
+                )
+
+    def _l2_transmit(self, from_side: str, payload: bytes) -> bytes:
+        """Push one encoded message over the virtual L2 to the other
+        side; returns the bytes as delivered there."""
+        to_side = "server" if from_side == "client" else "client"
+        self.cluster.l2.send(
+            self._l2_names[from_side], self._l2_names[to_side], payload
+        )
+        return self._l2_inbox[to_side].pop()
+
+    def _codec_for(self, message: Row) -> AdnWireCodec:
+        if message.get("kind") == "response":
+            return self._response_codec
+        return self._codec
+
+    # -- helpers ------------------------------------------------------------
+
+    def _transport_cost(
+        self, side: str, message: Row
+    ) -> Tuple[float, float, int]:
+        """(cpu_us, extra_us, wire_bytes) for putting one message on the
+        wire from ``side`` (receive costs are symmetric)."""
+        codec = self._codec_for(message)
+        encoded = codec.encode(message)
+        wire = wire_bytes_for_message(len(encoded))
+        cpu = (
+            self.costs.mrpc_tcp_batched_us
+            + self.costs.header_codec_us(len(codec.layout.fields))
+        )
+        extra = self.costs.mrpc_tcp_unbatched_extra_us
+        return cpu, extra, wire
+
+    def _cross_wire(self, message: Row) -> Row:
+        """What the far side of the hop actually receives: the tuple
+        encoded with the hop's minimal header layout and decoded again.
+        Fields the compiler proved unnecessary downstream really do not
+        cross — a layout bug shows up as behavioural divergence, not
+        just a wrong byte count."""
+        codec = self._codec_for(message)
+        outbound = dict(message)
+        if self.guarantees is not None and getattr(
+            self.guarantees, "ordered", False
+        ):
+            if outbound.get("kind") != "response":
+                self._next_seq += 1
+                outbound["seq"] = self._next_seq
+        from_side = (
+            "client" if outbound.get("kind") != "response" else "server"
+        )
+        delivered = self._l2_transmit(from_side, codec.encode(outbound))
+        received = codec.decode(delivered)
+        if "seq" in received and received.get("kind") != "response":
+            if received["seq"] <= self._last_seq_seen:
+                self.out_of_order_detected += 1
+            self._last_seq_seen = received["seq"]
+        # transport-external context (e.g. `method`, if no downstream
+        # element reads it) is intentionally absent; readers get the
+        # layout's defaults
+        return received
+
+    def _use(self, resource: Resource, cpu_us: float) -> Generator:
+        yield from resource.use(cpu_us * US)
+
+    def _wire_hop(self, size_bytes: int, hops: int = 1) -> Generator:
+        self.wire_bytes_total += size_bytes
+        yield self.sim.timeout(self.costs.wire_us(size_bytes, hops) * US)
+
+    # -- the path -----------------------------------------------------------------
+
+    def call_raw(self, **fields: object) -> Generator:
+        """Issue one RPC through the raw path (no stream-shaping
+        filters); returns an :class:`RpcOutcome`."""
+        issued_at = self.sim.now
+        request = make_request(
+            self.schema,
+            src=f"{self.client_service}.0",
+            dst=self.server_service,
+            **fields,
+        )
+        mirrored = 0
+        # client app issues into shared memory
+        yield from self._use(
+            self.client_app,
+            self.costs.client_issue_us + self.costs.mrpc_shm_post_us,
+        )
+        # engine picks it up
+        yield from self._use(
+            self._transport["client"], self.costs.mrpc_dispatch_us
+        )
+
+        trace: List[Tuple[str, float, float]] = []
+        current: Row = request
+        crossed_wire = False
+        dropped_by: Optional[str] = None
+        for processor in self.processors:
+            if processor.segment.machine in ("server-host", SWITCH_LOCATION) and (
+                not crossed_wire
+            ):
+                # leave the client host
+                cpu, extra, wire = self._transport_cost("client", current)
+                yield from self._use(self._transport["client"], cpu)
+                if extra:
+                    yield self.sim.timeout(extra * US)
+                hop_started = self.sim.now
+                yield from self._wire_hop(wire, hops=1)
+                current = self._cross_wire(current)
+                crossed_wire = True
+                if self.tracing:
+                    trace.append(("wire:forward", hop_started, self.sim.now))
+            span_started = self.sim.now
+            result = yield self.sim.process(
+                processor.execute("request", current)
+            )
+            if self.tracing:
+                trace.append(
+                    (
+                        f"request:{processor.segment.platform.value}"
+                        f"@{processor.segment.machine}",
+                        span_started,
+                        self.sim.now,
+                    )
+                )
+            mirrored += result.mirrored
+            if result.dropped_by:
+                dropped_by = result.dropped_by
+                break
+            current = result.outputs[0]
+
+        if dropped_by is None:
+            if not crossed_wire:
+                cpu, extra, wire = self._transport_cost("client", current)
+                yield from self._use(self._transport["client"], cpu)
+                if extra:
+                    yield self.sim.timeout(extra * US)
+                hop_started = self.sim.now
+                yield from self._wire_hop(wire, hops=1)
+                current = self._cross_wire(current)
+                crossed_wire = True
+                if self.tracing:
+                    trace.append(("wire:forward", hop_started, self.sim.now))
+            # server engine receives and hands to the app
+            yield self.sim.timeout(self.costs.mrpc_rx_wakeup_extra_us * US)
+            cpu, extra, _wire = self._transport_cost("server", current)
+            yield from self._use(self._transport["server"], cpu)
+            yield from self._use(
+                self._transport["server"], self.costs.mrpc_shm_post_us
+            )
+            # decode exactly what the wire carried (fidelity check lives
+            # in tests: the server sees only header-plan fields)
+            yield from self._use(self.server_app, self.costs.app_logic_us)
+            if self.server_handler is not None:
+                overrides = yield from self.server_handler(current)
+                response = make_response(current, **(overrides or {}))
+            else:
+                response = make_response(current)
+        else:
+            response = make_abort(current, dropped_by)
+
+        # response path: reverse traversal from where we turned around
+        reverse_processors = [
+            processor
+            for processor in reversed(self.processors)
+            if dropped_by is None
+            or self._before_drop(processor, dropped_by)
+        ]
+        returned_wire = crossed_wire
+        for processor in reverse_processors:
+            if (
+                returned_wire
+                and processor.segment.machine == "client-host"
+            ):
+                cpu, extra, wire = self._transport_cost("server", response)
+                yield from self._use(self._transport["server"], cpu)
+                if extra:
+                    yield self.sim.timeout(extra * US)
+                hop_started = self.sim.now
+                yield from self._wire_hop(wire, hops=1)
+                response = self._cross_wire(response)
+                returned_wire = False
+                if self.tracing:
+                    trace.append(("wire:return", hop_started, self.sim.now))
+            span_started = self.sim.now
+            result = yield self.sim.process(
+                processor.execute("response", response)
+            )
+            if self.tracing:
+                trace.append(
+                    (
+                        f"response:{processor.segment.platform.value}"
+                        f"@{processor.segment.machine}",
+                        span_started,
+                        self.sim.now,
+                    )
+                )
+            if result.outputs:
+                response = result.outputs[0]
+        if returned_wire:
+            cpu, extra, wire = self._transport_cost("server", response)
+            yield from self._use(self._transport["server"], cpu)
+            if extra:
+                yield self.sim.timeout(extra * US)
+            hop_started = self.sim.now
+            yield from self._wire_hop(wire, hops=1)
+            response = self._cross_wire(response)
+            if self.tracing:
+                trace.append(("wire:return", hop_started, self.sim.now))
+        if crossed_wire:
+            # client engine receives the response off the wire
+            yield self.sim.timeout(self.costs.mrpc_rx_wakeup_extra_us * US)
+            cpu, _extra, _wire = self._transport_cost("client", response)
+            yield from self._use(self._transport["client"], cpu)
+        # client engine delivers to the app
+        yield from self._use(
+            self._transport["client"], self.costs.mrpc_dispatch_us
+        )
+        yield from self._use(
+            self.client_app,
+            self.costs.client_complete_us + self.costs.mrpc_shm_post_us,
+        )
+        self.mirrored_total += mirrored
+        outcome = RpcOutcome(
+            request=request,
+            response=response,
+            issued_at=issued_at,
+            completed_at=self.sim.now,
+            aborted_by=dropped_by or "",
+            mirrored=mirrored,
+        )
+        if self.tracing:
+            outcome.notes["trace"] = trace
+        return outcome
+
+    def _before_drop(self, processor: ProcessorRuntime, dropped_by: str) -> bool:
+        """True when ``processor`` was traversed before the dropper (its
+        elements see the response on the way back)."""
+        order = self._traversal_order
+        drop_index = order.index(dropped_by)
+        indices = [order.index(n) for n in processor.segment.elements if n in order]
+        if not indices:
+            return False
+        return min(indices) < drop_index
+
+    # -- accounting -----------------------------------------------------------
+
+    def cpu_busy_by_machine(self) -> Dict[str, float]:
+        return self.cluster.cpu_busy_by_machine()

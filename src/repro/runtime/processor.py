@@ -1,0 +1,288 @@
+"""ADN processors: placed element groups executing on simulated resources.
+
+A :class:`PlacementSegment` is the controller's decision that a run of
+chain elements executes on one platform at one location (paper §5.3: "an
+ADN processor might only manage a portion of a processing graph"). The
+:class:`ProcessorRuntime` executes that run — *functionally* (real
+element logic via the compiled Python modules, so drops, rewrites and
+state updates actually happen) while charging the platform's costs to
+the right simulation resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..compiler.compiler import CompiledChain
+from ..dsl.functions import FunctionRegistry
+from ..errors import PlacementError
+from ..platforms import Platform
+from ..sim.cluster import Cluster, Machine
+from ..sim.costmodel import CostModel
+from ..sim.engine import US, Simulator
+from ..sim.resources import Resource
+from .message import Row
+
+#: machine name used for on-switch segments
+SWITCH_LOCATION = "switch"
+
+
+@dataclass
+class PlacementSegment:
+    """A contiguous run of chain elements on one platform/location."""
+
+    platform: Platform
+    machine: str  # machine name, or SWITCH_LOCATION
+    elements: Tuple[str, ...]
+    #: parallel stages local to this segment (subset of the chain's)
+    stages: Tuple[Tuple[str, ...], ...] = ()
+    #: number of replicated processor instances (Figure 2 config 4)
+    replicas: int = 1
+    #: cross-element fusion (paper Q2): the backend compiles the
+    #: segment's elements into one module, paying the per-module
+    #: dispatch once per traversal instead of once per element
+    fused: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            self.stages = tuple((name,) for name in self.elements)
+
+
+@dataclass
+class PlacementPlan:
+    """The full realization of one chain across processors."""
+
+    segments: List[PlacementSegment]
+    #: "engine" (mRPC owns the wire) or "proxyless" (the RPC library
+    #: itself talks to the kernel), per side
+    client_transport: str = "engine"
+    server_transport: str = "engine"
+    description: str = ""
+
+    def segments_on(self, machine: str) -> List[PlacementSegment]:
+        return [seg for seg in self.segments if seg.machine == machine]
+
+    def element_locations(self) -> Dict[str, Tuple[Platform, str]]:
+        return {
+            name: (segment.platform, segment.machine)
+            for segment in self.segments
+            for name in segment.elements
+        }
+
+
+@dataclass
+class SegmentResult:
+    """Outcome of pushing one RPC through a segment."""
+
+    outputs: List[Row]
+    dropped_by: Optional[str] = None
+    mirrored: int = 0
+    cpu_us: float = 0.0
+    extra_us: float = 0.0
+
+
+class ProcessorRuntime:
+    """One placed processor executing a segment's elements."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        segment: PlacementSegment,
+        chain: CompiledChain,
+        registry: FunctionRegistry,
+        handcoded: bool = False,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.segment = segment
+        self.chain = chain
+        self.registry = registry
+        self.costs: CostModel = cluster.costs
+        self.handcoded = handcoded
+        self._pending_func_us = 0.0
+        self.resource = self._allocate_resource()
+        self.instances: Dict[str, object] = {}
+        for name in segment.elements:
+            compiled = chain.elements[name]
+            artifact = compiled.artifact("python")
+            self.instances[name] = artifact.factory(
+                on_func_call=self._on_func_call
+            )
+        self.rpcs_processed = 0
+        self.rpcs_dropped = 0
+        #: per-element counters for telemetry reports (paper §5.3)
+        self.element_processed: Dict[str, int] = {
+            name: 0 for name in segment.elements
+        }
+        self.element_dropped: Dict[str, int] = {
+            name: 0 for name in segment.elements
+        }
+
+    # -- resources ----------------------------------------------------------
+
+    def _allocate_resource(self) -> Optional[Resource]:
+        platform = self.segment.platform
+        if platform is Platform.SWITCH_P4:
+            if not self.cluster.switch.programmable:
+                raise PlacementError(
+                    "switch segment placed but the ToR is not programmable"
+                )
+            self.cluster.switch.installed_elements.extend(self.segment.elements)
+            return None
+        machine: Machine = self.cluster.machine(self.segment.machine)
+        if platform is Platform.SMARTNIC:
+            if machine.smartnic_cores is None:
+                raise PlacementError(
+                    f"machine {machine.name!r} has no SmartNIC"
+                )
+            return machine.smartnic_cores
+        names = {
+            Platform.MRPC: "mrpc-engine",
+            Platform.RPC_LIB: "app",
+            Platform.SIDECAR: "sidecar",
+            Platform.KERNEL_EBPF: "kernel",
+        }
+        return machine.thread(names[platform], capacity=self.segment.replicas)
+
+    def _on_func_call(self, spec, size: int) -> None:
+        self._pending_func_us += spec.cost_us + size * spec.cost_per_byte_us
+
+    # -- execution -------------------------------------------------------------
+
+    def _element_cost_us(
+        self, name: str, kind: str, func_us: float, first_in_segment: bool
+    ) -> float:
+        analysis = self.chain.elements[name].analysis
+        dispatch = self.costs.element_dispatch_us
+        if self.segment.fused and not first_in_segment:
+            # fused segments pay one module dispatch per traversal
+            dispatch = 0.0
+        base = dispatch + analysis.handler_cost_us(kind) + func_us
+        factor = self.costs.platform_element_factor[self.segment.platform]
+        if self.handcoded:
+            factor *= self.costs.handcoded_element_factor
+        if self.segment.platform is Platform.SIDECAR:
+            base += self.costs.wasm_trampoline_us
+        return base * factor
+
+    def _run_functionally(self, kind: str, rpc: Row) -> SegmentResult:
+        """Execute the segment's elements on one tuple; returns outputs
+        and the computed CPU/latency charges."""
+        result = SegmentResult(outputs=[dict(rpc)])
+        order = (
+            self.segment.elements
+            if kind == "request"
+            else tuple(reversed(self.segment.elements))
+        )
+        stages = (
+            self.segment.stages
+            if kind == "request"
+            else tuple(reversed(self.segment.stages))
+        )
+        stage_costs: List[float] = []
+        current = dict(rpc)
+        expected_dst = current.get("dst")
+        executed = 0
+        for stage in stages:
+            member_costs: List[float] = []
+            for name in stage:
+                if name not in order:
+                    continue
+                self._pending_func_us = 0.0
+                outputs = self.instances[name].process(dict(current), kind)
+                member_costs.append(
+                    self._element_cost_us(
+                        name, kind, self._pending_func_us, executed == 0
+                    )
+                )
+                executed += 1
+                self.element_processed[name] += 1
+                if not outputs:
+                    if kind == "request":
+                        result.dropped_by = name
+                        self.element_dropped[name] += 1
+                        result.outputs = []
+                        stage_costs.append(
+                            max(member_costs) if self._parallel_capable()
+                            else sum(member_costs)
+                        )
+                        result.cpu_us = self._total_cpu(stage_costs, member_costs)
+                        result.extra_us = self._extra_us(len(order))
+                        return result
+                    # a dropped response degenerates to forwarding; keep
+                    # the current tuple (responses are not re-aborted)
+                    outputs = [dict(current)]
+                forward = outputs[0]
+                for extra in outputs[1:]:
+                    result.mirrored += 1
+                    del extra  # mirrored copies terminate at a shadow sink
+                current = forward
+            stage_costs.append(
+                max(member_costs)
+                if self._parallel_capable() and member_costs
+                else sum(member_costs)
+            )
+        del expected_dst
+        result.outputs = [current]
+        result.cpu_us = sum(stage_costs)
+        result.extra_us = self._extra_us(len(order))
+        return result
+
+    def _parallel_capable(self) -> bool:
+        return self.resource is not None and self.resource.capacity > 1
+
+    def _total_cpu(self, stage_costs: List[float], last: List[float]) -> float:
+        return sum(stage_costs)
+
+    def _extra_us(self, element_count: int) -> float:
+        per_element = self.costs.platform_element_extra_us[self.segment.platform]
+        if self.segment.platform is Platform.SIDECAR:
+            # crossing into the sidecar process costs once per traversal,
+            # not per element
+            return per_element
+        return per_element * element_count
+
+    def execute(self, kind: str, rpc: Row) -> Generator:
+        """Simulation process: queue on the platform resource, execute,
+        hold for the computed service time. Returns a SegmentResult."""
+        self.rpcs_processed += 1
+        if self.resource is None:
+            # switch pipeline: line rate, latency only
+            result = self._run_functionally(kind, rpc)
+            total_extra = result.extra_us + result.cpu_us  # pipeline delay
+            if total_extra > 0:
+                yield self.sim.timeout(total_extra * US)
+            result.cpu_us = 0.0
+            if result.dropped_by:
+                self.rpcs_dropped += 1
+            return result
+        yield self.resource.request()
+        try:
+            result = self._run_functionally(kind, rpc)
+            if result.cpu_us > 0:
+                yield self.sim.timeout(result.cpu_us * US)
+            self.resource.busy_time += result.cpu_us * US
+            self.resource.served += 1
+        finally:
+            self.resource.release()
+        if result.extra_us > 0:
+            yield self.sim.timeout(result.extra_us * US)
+        if result.dropped_by:
+            self.rpcs_dropped += 1
+        return result
+
+    # -- state access for the controller ------------------------------------------
+
+    def element_state(self, name: str):
+        """The StateStore of one element instance (controller-facing)."""
+        return self.instances[name].state
+
+    def seed_endpoints(self, element: str, replicas: List[str]) -> None:
+        """Install the replica set into a load balancer's endpoints table
+        (what the controller does when Deployments change)."""
+        table = self.element_state(element).table("endpoints")
+        table.clear()
+        for index, replica in enumerate(replicas):
+            table.insert_values([index, replica])

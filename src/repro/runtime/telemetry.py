@@ -1,0 +1,162 @@
+"""Data-plane telemetry (paper §5.3).
+
+"Each processor acquires the compiled version of the RPC processing
+logic from the control plane and periodically sends reports of logging,
+tracing, and runtime statistical information back to the controller."
+
+:class:`TelemetryCollector` is a simulation process that samples every
+registered processor on an interval, computes per-window deltas
+(throughput, drop rate, utilization), and delivers
+:class:`ProcessorReport` objects to sinks — typically the controller,
+whose autoscaling and placement decisions they inform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..sim.engine import Simulator
+from .processor import ProcessorRuntime
+
+
+@dataclass(frozen=True)
+class ProcessorReport:
+    """One telemetry sample from one processor."""
+
+    at_s: float
+    platform: str
+    machine: str
+    elements: tuple
+    window_s: float
+    rpcs_in_window: int
+    drops_in_window: int
+    utilization: float  # of the processor's resource over the window
+    element_processed: Dict[str, int] = field(default_factory=dict)
+    element_dropped: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rate_rps(self) -> float:
+        if self.window_s <= 0:
+            return 0.0
+        return self.rpcs_in_window / self.window_s
+
+    @property
+    def drop_rate(self) -> float:
+        if self.rpcs_in_window == 0:
+            return 0.0
+        return self.drops_in_window / self.rpcs_in_window
+
+
+ReportSink = Callable[[ProcessorReport], None]
+
+
+class TelemetryCollector:
+    """Samples processors on an interval and feeds report sinks."""
+
+    def __init__(self, sim: Simulator, interval_s: float = 0.05):
+        self.sim = sim
+        self.interval_s = interval_s
+        self._processors: List[ProcessorRuntime] = []
+        self._sinks: List[ReportSink] = []
+        self._last: Dict[int, Dict[str, float]] = {}
+        self.reports: List[ProcessorReport] = []
+
+    def register(self, processor: ProcessorRuntime) -> None:
+        self._processors.append(processor)
+        self._last[id(processor)] = {
+            "processed": 0.0,
+            "dropped": 0.0,
+            "busy": 0.0,
+            "at": self.sim.now,
+        }
+
+    def register_stack(self, stack) -> None:
+        """Register every processor of an :class:`AdnMrpcStack`."""
+        for processor in stack.processors:
+            self.register(processor)
+
+    def add_sink(self, sink: ReportSink) -> None:
+        self._sinks.append(sink)
+
+    def sample(self) -> List[ProcessorReport]:
+        """Take one sample of every processor right now."""
+        samples: List[ProcessorReport] = []
+        for processor in self._processors:
+            last = self._last[id(processor)]
+            window = self.sim.now - last["at"]
+            busy = (
+                processor.resource.busy_time
+                if processor.resource is not None
+                else 0.0
+            )
+            capacity = (
+                processor.resource.capacity
+                if processor.resource is not None
+                else 1
+            )
+            utilization = (
+                (busy - last["busy"]) / (window * capacity)
+                if window > 0
+                else 0.0
+            )
+            report = ProcessorReport(
+                at_s=self.sim.now,
+                platform=processor.segment.platform.value,
+                machine=processor.segment.machine,
+                elements=processor.segment.elements,
+                window_s=window,
+                rpcs_in_window=int(
+                    processor.rpcs_processed - last["processed"]
+                ),
+                drops_in_window=int(processor.rpcs_dropped - last["dropped"]),
+                utilization=utilization,
+                element_processed=dict(processor.element_processed),
+                element_dropped=dict(processor.element_dropped),
+            )
+            last.update(
+                processed=float(processor.rpcs_processed),
+                dropped=float(processor.rpcs_dropped),
+                busy=busy,
+                at=self.sim.now,
+            )
+            samples.append(report)
+            self.reports.append(report)
+            for sink in self._sinks:
+                sink(report)
+        return samples
+
+    def run(self, duration_s: float) -> Generator:
+        """Simulation process: sample on the configured interval."""
+        deadline = self.sim.now + duration_s
+        while self.sim.now < deadline:
+            yield self.sim.timeout(self.interval_s)
+            self.sample()
+
+
+class TelemetryStore:
+    """Controller-side aggregation of processor reports."""
+
+    def __init__(self) -> None:
+        self.by_processor: Dict[tuple, List[ProcessorReport]] = {}
+
+    def sink(self, report: ProcessorReport) -> None:
+        key = (report.machine, report.platform, report.elements)
+        self.by_processor.setdefault(key, []).append(report)
+
+    def latest(self) -> List[ProcessorReport]:
+        return [series[-1] for series in self.by_processor.values() if series]
+
+    def hottest(self) -> Optional[ProcessorReport]:
+        """The most utilized processor in the latest window — the
+        controller's scale-out candidate."""
+        latest = self.latest()
+        if not latest:
+            return None
+        return max(latest, key=lambda report: report.utilization)
+
+    def total_drop_rate(self) -> float:
+        latest = self.latest()
+        rpcs = sum(report.rpcs_in_window for report in latest)
+        drops = sum(report.drops_in_window for report in latest)
+        return drops / rpcs if rpcs else 0.0

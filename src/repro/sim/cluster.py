@@ -1,0 +1,137 @@
+"""Cluster topology: machines, threads, NICs, and a programmable ToR
+switch, all backed by simulation resources.
+
+The paper's testbed is two Xeon servers connected by a switch; the
+default cluster mirrors that, and richer topologies (SmartNICs, extra
+machines for scale-out) are opt-in flags so the Figure 2 configurations
+can be expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..net.l2 import VirtualL2
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .engine import Simulator
+from .resources import Resource
+
+
+@dataclass
+class Machine:
+    """A host: named single-capacity threads (app threads, proxy workers,
+    mRPC engines) plus an optional SmartNIC processor."""
+
+    name: str
+    sim: Simulator
+    cores: int = 20
+    has_smartnic: bool = False
+    supports_ebpf: bool = True
+    threads: Dict[str, Resource] = field(default_factory=dict)
+    smartnic_cores: Optional[Resource] = None
+
+    def __post_init__(self) -> None:
+        if self.has_smartnic:
+            self.smartnic_cores = Resource(
+                self.sim, capacity=4, name=f"{self.name}/smartnic"
+            )
+
+    def thread(self, name: str, capacity: int = 1) -> Resource:
+        """Get or create a named thread pool on this machine."""
+        key = f"{name}[{capacity}]"
+        if key not in self.threads:
+            if sum(r.capacity for r in self.threads.values()) + capacity > self.cores:
+                raise SimulationError(
+                    f"machine {self.name!r} out of cores for thread {name!r}"
+                )
+            self.threads[key] = Resource(
+                self.sim, capacity=capacity, name=f"{self.name}/{name}"
+            )
+        return self.threads[key]
+
+    def cpu_busy_s(self) -> float:
+        """Total CPU-seconds consumed on this machine's host cores."""
+        return sum(resource.busy_time for resource in self.threads.values())
+
+
+@dataclass
+class Switch:
+    """The ToR switch; when programmable it can host P4 elements.
+
+    Switch element execution does not consume host CPU — the pipeline
+    runs at line rate — so the switch has no Resource; it contributes
+    only per-pass latency (cost model) and entry-capacity limits.
+    """
+
+    name: str = "tor"
+    programmable: bool = False
+    pipeline_stages: int = 12
+    table_entries: int = 65536
+    installed_elements: List[str] = field(default_factory=list)
+
+    def can_host(self, element_count: int) -> bool:
+        return (
+            self.programmable
+            and len(self.installed_elements) + element_count
+            <= self.pipeline_stages
+        )
+
+
+class Cluster:
+    """Machines + switch + virtual L2, sharing one simulator and cost
+    model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: Optional[CostModel] = None,
+        programmable_switch: bool = False,
+    ):
+        self.sim = sim
+        self.costs = costs or DEFAULT_COST_MODEL
+        self.machines: Dict[str, Machine] = {}
+        self.switch = Switch(programmable=programmable_switch)
+        self.l2 = VirtualL2()
+
+    def add_machine(
+        self,
+        name: str,
+        cores: int = 20,
+        has_smartnic: bool = False,
+        supports_ebpf: bool = True,
+    ) -> Machine:
+        if name in self.machines:
+            raise SimulationError(f"duplicate machine {name!r}")
+        machine = Machine(
+            name=name,
+            sim=self.sim,
+            cores=cores,
+            has_smartnic=has_smartnic,
+            supports_ebpf=supports_ebpf,
+        )
+        self.machines[name] = machine
+        return machine
+
+    def machine(self, name: str) -> Machine:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise SimulationError(f"unknown machine {name!r}") from None
+
+    def cpu_busy_by_machine(self) -> Dict[str, float]:
+        return {name: m.cpu_busy_s() for name, m in self.machines.items()}
+
+
+def two_machine_cluster(
+    sim: Simulator,
+    costs: Optional[CostModel] = None,
+    smartnics: bool = False,
+    programmable_switch: bool = False,
+) -> Cluster:
+    """The paper's testbed: two hosts behind one ToR switch."""
+    cluster = Cluster(sim, costs=costs, programmable_switch=programmable_switch)
+    cluster.add_machine("client-host", has_smartnic=smartnics)
+    cluster.add_machine("server-host", has_smartnic=smartnics)
+    return cluster

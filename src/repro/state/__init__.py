@@ -1,0 +1,9 @@
+"""Element state: tables with snapshot, split, merge, and delta logs."""
+
+from .table import Delta, Row, StateStore, StateTable
+
+__all__ = ["Delta", "Row", "StateStore", "StateTable"]
+
+from .migration import MigrationReport, MigrationTiming, Migrator
+
+__all__ += ["MigrationReport", "MigrationTiming", "Migrator"]

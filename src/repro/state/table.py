@@ -1,0 +1,299 @@
+"""State tables for ADN elements.
+
+The paper's central enabler for migration and scaling (§5.2) is that
+element state is *decoupled from code and tabular*: the controller can
+snapshot a table, split it by key across new instances, or merge the
+tables of instances being decommissioned. This module implements those
+operations with schema checking and a delta log for live migration.
+
+Tables come in three shapes:
+
+* **keyed** — one or more KEY columns; rows are unique per key and the
+  table can be *partitioned* by key hash (scale-out) and *merged* by
+  union (scale-in, last-writer-wins per key).
+* **bag** — no key; rows are an unordered multiset; merging concatenates.
+* **append-only** — write-only sinks (logs); reads are disallowed on the
+  data path, and merging concatenates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..dsl.ast_nodes import StateDecl
+from ..errors import StateError
+
+Row = Dict[str, object]
+
+
+def _stable_key_hash(value: object) -> int:
+    """Deterministic hash for partitioning (process-salt free)."""
+    import hashlib
+
+    data = repr(value).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One logged mutation, replayable on another table instance."""
+
+    op: str  # "insert" | "update" | "delete"
+    row: Tuple[Tuple[str, object], ...]  # the affected row, as sorted items
+
+    @classmethod
+    def of(cls, op: str, row: Row) -> "Delta":
+        return cls(op=op, row=tuple(sorted(row.items())))
+
+    def as_row(self) -> Row:
+        return dict(self.row)
+
+
+class StateTable:
+    """A mutable table instance owned by one element replica."""
+
+    def __init__(self, decl: StateDecl):
+        self.decl = decl
+        self.name = decl.name
+        self.columns: Tuple[str, ...] = tuple(col.name for col in decl.columns)
+        self.key_columns: Tuple[str, ...] = tuple(
+            col.name for col in decl.columns if col.is_key
+        )
+        self.append_only = decl.append_only
+        self._by_key: Dict[Tuple[object, ...], Row] = {}
+        self._rows: List[Row] = []  # for bag / append-only tables
+        self._delta_log: Optional[List[Delta]] = None
+
+    # -- basics -----------------------------------------------------------
+
+    @property
+    def keyed(self) -> bool:
+        return bool(self.key_columns)
+
+    def __len__(self) -> int:
+        return len(self._by_key) if self.keyed else len(self._rows)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate rows (copies are not made; do not mutate)."""
+        if self.keyed:
+            return iter(self._by_key.values())
+        return iter(self._rows)
+
+    def _key_of(self, row: Row) -> Tuple[object, ...]:
+        return tuple(row[col] for col in self.key_columns)
+
+    def _check_row(self, row: Row) -> Row:
+        if set(row) != set(self.columns):
+            raise StateError(
+                f"table {self.name!r}: row fields {sorted(row)} != "
+                f"columns {sorted(self.columns)}"
+            )
+        for col in self.decl.columns:
+            if row[col.name] is not None and not col.type.accepts(row[col.name]):
+                raise StateError(
+                    f"table {self.name!r}: column {col.name!r} expects "
+                    f"{col.type.value}, got {row[col.name]!r}"
+                )
+        return row
+
+    def contains_key(self, value: object) -> bool:
+        """Membership test on the (single-column) key; used by the DSL's
+        ``contains(table, value)``."""
+        if not self.keyed:
+            raise StateError(f"contains() on unkeyed table {self.name!r}")
+        if len(self.key_columns) == 1:
+            return (value,) in self._by_key
+        return any(key[0] == value for key in self._by_key)
+
+    def get(self, *key: object) -> Optional[Row]:
+        """Row with the given key values, or None."""
+        if not self.keyed:
+            raise StateError(f"get() on unkeyed table {self.name!r}")
+        return self._by_key.get(tuple(key))
+
+    # -- mutations ------------------------------------------------------
+
+    def insert(self, row: Row) -> None:
+        row = dict(self._check_row(dict(row)))
+        if self.keyed:
+            self._by_key[self._key_of(row)] = row
+        else:
+            self._rows.append(row)
+        self._log(Delta.of("insert", row))
+
+    def insert_values(self, values: Sequence[object]) -> None:
+        """Insert a positional row (INSERT INTO ... VALUES)."""
+        if len(values) != len(self.columns):
+            raise StateError(
+                f"table {self.name!r}: {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.insert(dict(zip(self.columns, values)))
+
+    def update_where(
+        self,
+        predicate: Callable[[Row], bool],
+        updater: Callable[[Row], Dict[str, object]],
+    ) -> int:
+        """Apply ``updater`` to each row matching ``predicate``.
+
+        Returns the number of rows changed. Updating key columns is
+        rejected (it would silently re-home rows between partitions).
+        """
+        if self.append_only:
+            raise StateError(f"update on append-only table {self.name!r}")
+        changed = 0
+        for row in list(self.rows()):
+            if not predicate(row):
+                continue
+            new_values = updater(row)
+            if any(col in self.key_columns for col in new_values):
+                raise StateError(
+                    f"table {self.name!r}: updating key columns is not allowed"
+                )
+            row.update(new_values)
+            self._check_row(row)
+            changed += 1
+            self._log(Delta.of("update", row))
+        return changed
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows matching ``predicate``; returns the count."""
+        if self.append_only:
+            raise StateError(f"delete on append-only table {self.name!r}")
+        removed = 0
+        if self.keyed:
+            doomed = [k for k, row in self._by_key.items() if predicate(row)]
+            for key in doomed:
+                self._log(Delta.of("delete", self._by_key[key]))
+                del self._by_key[key]
+            removed = len(doomed)
+        else:
+            kept: List[Row] = []
+            for row in self._rows:
+                if predicate(row):
+                    self._log(Delta.of("delete", row))
+                    removed += 1
+                else:
+                    kept.append(row)
+            self._rows = kept
+        return removed
+
+    def clear(self) -> None:
+        self._by_key.clear()
+        self._rows.clear()
+
+    # -- snapshot / migration --------------------------------------------------
+
+    def snapshot(self) -> List[Row]:
+        """Deep-enough copy of all rows (rows are copied, values shared)."""
+        return [dict(row) for row in self.rows()]
+
+    def load_snapshot(self, rows: Iterable[Row]) -> None:
+        """Replace contents with a snapshot (used when migrating in)."""
+        self.clear()
+        for row in rows:
+            self.insert(row)
+
+    def start_delta_log(self) -> None:
+        """Begin recording mutations (phase 1 of live migration)."""
+        self._delta_log = []
+
+    def drain_delta_log(self) -> List[Delta]:
+        """Stop recording and return the accumulated deltas."""
+        if self._delta_log is None:
+            raise StateError(f"table {self.name!r}: delta log not started")
+        deltas, self._delta_log = self._delta_log, None
+        return deltas
+
+    def apply_deltas(self, deltas: Iterable[Delta]) -> None:
+        """Replay deltas captured on another instance."""
+        for delta in deltas:
+            row = delta.as_row()
+            if delta.op in ("insert", "update"):
+                self.insert(row)  # keyed insert is an upsert
+            elif delta.op == "delete":
+                if self.keyed:
+                    self._by_key.pop(self._key_of(row), None)
+                else:
+                    try:
+                        self._rows.remove(row)
+                    except ValueError:
+                        pass
+            else:
+                raise StateError(f"unknown delta op {delta.op!r}")
+
+    def _log(self, delta: Delta) -> None:
+        if self._delta_log is not None:
+            self._delta_log.append(delta)
+
+    # -- split / merge (paper §5.2) ----------------------------------------
+
+    def split(self, ways: int) -> List["StateTable"]:
+        """Partition a keyed table into ``ways`` disjoint tables by key
+        hash. Bag and append-only tables are split round-robin (their rows
+        carry no affinity)."""
+        if ways <= 0:
+            raise StateError("split ways must be positive")
+        parts = [StateTable(self.decl) for _ in range(ways)]
+        if self.keyed:
+            for key, row in self._by_key.items():
+                index = _stable_key_hash(key) % ways
+                parts[index].insert(dict(row))
+        else:
+            for row, part in zip(self._rows, itertools.cycle(parts)):
+                part.insert(dict(row))
+        return parts
+
+    @classmethod
+    def merge(cls, decl: StateDecl, tables: Sequence["StateTable"]) -> "StateTable":
+        """Union the contents of several instances into one.
+
+        For keyed tables, duplicate keys resolve last-writer-wins in the
+        order given (callers pass instances oldest-first).
+        """
+        merged = cls(decl)
+        for table in tables:
+            if table.name != decl.name:
+                raise StateError(
+                    f"cannot merge table {table.name!r} into {decl.name!r}"
+                )
+            for row in table.rows():
+                merged.insert(dict(row))
+        return merged
+
+    def partition_key_for(self, row: Row) -> int:
+        """Stable hash of a row's key (router side of a split table)."""
+        if not self.keyed:
+            raise StateError(f"table {self.name!r} has no key")
+        return _stable_key_hash(self._key_of(row))
+
+
+class StateStore:
+    """All state of one element replica: its tables plus scalar vars."""
+
+    def __init__(self, decls: Sequence[StateDecl], variables: Dict[str, object]):
+        self.tables: Dict[str, StateTable] = {
+            decl.name: StateTable(decl) for decl in decls
+        }
+        self.vars: Dict[str, object] = dict(variables)
+
+    def table(self, name: str) -> StateTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise StateError(f"unknown state table {name!r}") from None
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full state snapshot: tables and vars."""
+        return {
+            "tables": {name: t.snapshot() for name, t in self.tables.items()},
+            "vars": dict(self.vars),
+        }
+
+    def load_snapshot(self, snapshot: Dict[str, object]) -> None:
+        for name, rows in snapshot["tables"].items():  # type: ignore[union-attr]
+            self.table(name).load_snapshot(rows)
+        self.vars.update(snapshot["vars"])  # type: ignore[arg-type]

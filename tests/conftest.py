@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.compiler import AdnCompiler
+from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
+from repro.dsl.ast_nodes import ChainDecl
+from repro.ir import ElementInstance, analyze_element, build_element_ir
+from repro.runtime.message import reset_rpc_ids
+from repro.sim import Simulator, two_machine_cluster
+
+
+@pytest.fixture
+def schema() -> RpcSchema:
+    """The benchmark app's schema: short byte-string payload plus the
+    fields the evaluated elements inspect."""
+    return RpcSchema.of(
+        "bench",
+        payload=FieldType.BYTES,
+        username=FieldType.STR,
+        obj_id=FieldType.INT,
+    )
+
+
+@pytest.fixture
+def registry() -> FunctionRegistry:
+    return FunctionRegistry()
+
+
+@pytest.fixture
+def stdlib_program(schema):
+    return load_stdlib(schema=schema)
+
+
+@pytest.fixture
+def compiler(registry) -> AdnCompiler:
+    return AdnCompiler(registry=registry)
+
+
+@pytest.fixture
+def paper_chain(compiler, stdlib_program, schema):
+    """The compiled Figure 5 chain: Logging, Acl, Fault."""
+    decl = ChainDecl(src="A", dst="B", elements=("Logging", "Acl", "Fault"))
+    return compiler.compile_chain(decl, stdlib_program, schema)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    reset_rpc_ids()
+    return Simulator()
+
+
+@pytest.fixture
+def cluster(sim):
+    return two_machine_cluster(sim)
+
+
+def make_rpc(**overrides):
+    """A complete request tuple with sensible defaults."""
+    rpc = {
+        "src": "A.0",
+        "dst": "B",
+        "rpc_id": 1,
+        "method": "get",
+        "kind": "request",
+        "status": "ok",
+        "payload": b"hello world " * 3,
+        "username": "usr2",
+        "obj_id": 7,
+    }
+    rpc.update(overrides)
+    return rpc
+
+
+def instance_of(program, name, registry=None) -> ElementInstance:
+    """Build a runnable interpreter instance of a stdlib element."""
+    ir = build_element_ir(program.elements[name])
+    analyze_element(ir, registry)
+    return ElementInstance(ir, registry)

@@ -1,0 +1,260 @@
+"""Element analysis unit tests: read/write sets, drop/multiply flags,
+determinism, and field propagation."""
+
+import pytest
+
+from repro.dsl import FieldType, RpcSchema, load_stdlib
+from repro.dsl.parser import parse_element
+from repro.dsl.validator import validate_element
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+
+
+def analyzed(source, schema=None):
+    ir = build_element_ir(validate_element(parse_element(source), schema=schema))
+    return analyze_element(ir)
+
+
+@pytest.fixture(scope="module")
+def stdlib_analyses():
+    schema = RpcSchema.of(
+        "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+    )
+    program = load_stdlib(schema=schema)
+    result = {}
+    for name, element in program.elements.items():
+        ir = build_element_ir(element)
+        result[name] = analyze_element(ir)
+    return result
+
+
+class TestReadWriteSets:
+    def test_reads_from_where(self):
+        analysis = analyzed(
+            "element E { on request { SELECT * FROM input WHERE input.a > input.b; } }"
+        )
+        assert analysis.fields_read == {"a", "b"}
+
+    def test_writes_from_aliases(self):
+        analysis = analyzed(
+            "element E { on request { SELECT input.*, hash(input.a) AS h FROM input; } }"
+        )
+        assert "h" in analysis.fields_written
+        assert analysis.fields_read == {"a"}
+
+    def test_reads_from_join_condition(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (k: int KEY, v: str);
+                on request {
+                    SELECT input.* FROM input JOIN t ON t.k == input.obj;
+                }
+            }
+            """
+        )
+        assert "obj" in analysis.fields_read
+        assert "t" in analysis.handlers["request"].state_read
+
+    def test_state_written_by_insert(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (x: int KEY);
+                on request {
+                    INSERT INTO t SELECT input.x FROM input;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        assert analysis.state_written == {"t"}
+        assert analysis.observable_effects
+
+
+class TestDropAndMultiply:
+    def test_filter_can_drop(self):
+        analysis = analyzed(
+            "element E { on request { SELECT * FROM input WHERE input.a > 0; } }"
+        )
+        assert analysis.can_drop
+
+    def test_join_can_drop(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (k: int KEY, v: str);
+                on request {
+                    SELECT input.* FROM input JOIN t ON t.k == input.x;
+                }
+            }
+            """
+        )
+        assert analysis.can_drop
+
+    def test_unconditional_forward_cannot_drop(self):
+        analysis = analyzed("element E { on request { SELECT * FROM input; } }")
+        assert not analysis.can_drop
+
+    def test_no_emit_always_drops(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (x: int KEY);
+                on request { INSERT INTO t SELECT input.x FROM input; }
+            }
+            """
+        )
+        assert analysis.can_drop
+
+    def test_multi_emit_multiplies(self):
+        analysis = analyzed(
+            """
+            element E {
+                on request {
+                    SELECT * FROM input;
+                    SELECT * FROM input WHERE input.a > 0;
+                }
+            }
+            """
+        )
+        assert analysis.can_multiply
+        assert not analysis.can_drop  # first emit is unconditional
+
+    def test_unique_key_join_does_not_multiply(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (k: int KEY, v: str);
+                on request {
+                    SELECT input.* FROM input JOIN t ON t.k == input.x;
+                }
+            }
+            """
+        )
+        assert not analysis.can_multiply
+
+    def test_non_key_join_multiplies(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (k: int, v: str);
+                on request {
+                    SELECT input.* FROM input JOIN t ON t.k == input.x;
+                }
+            }
+            """
+        )
+        assert analysis.can_multiply
+
+    def test_multi_column_key_join(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (a: int KEY, b: int KEY, v: str);
+                on request {
+                    SELECT input.* FROM input
+                    JOIN t ON t.a == input.x AND t.b == input.y;
+                }
+            }
+            """
+        )
+        assert not analysis.can_multiply
+
+    def test_partial_key_join_multiplies(self):
+        analysis = analyzed(
+            """
+            element E {
+                state t (a: int KEY, b: int KEY, v: str);
+                on request {
+                    SELECT input.* FROM input JOIN t ON t.a == input.x;
+                }
+            }
+            """
+        )
+        assert analysis.can_multiply
+
+
+class TestDeterminismAndNarrowing:
+    def test_rand_breaks_determinism(self):
+        analysis = analyzed(
+            "element E { on request { SELECT * FROM input WHERE rand() > 0.5; } }"
+        )
+        assert not analysis.deterministic
+
+    def test_deterministic_element(self):
+        analysis = analyzed(
+            "element E { on request { SELECT * FROM input WHERE input.a == 1; } }"
+        )
+        assert analysis.deterministic
+
+    def test_narrowing_projection(self):
+        analysis = analyzed(
+            "element E { on request { SELECT input.a FROM input; } }"
+        )
+        handler = analysis.handlers["request"]
+        assert handler.narrowed_to == {"a"}
+        assert handler.propagate_fields(frozenset({"a", "b", "c"})) == {"a"}
+
+    def test_star_projection_propagates_everything(self):
+        analysis = analyzed(
+            "element E { on request { SELECT input.*, 1 AS extra FROM input; } }"
+        )
+        handler = analysis.handlers["request"]
+        assert handler.narrowed_to is None
+        incoming = frozenset({"a", "b"})
+        assert handler.propagate_fields(incoming) == {"a", "b", "extra"}
+
+    def test_payload_funcs_detected(self):
+        analysis = analyzed(
+            "element E { on request { SELECT input.*, compress(input.p) AS p FROM input; } }"
+        )
+        assert analysis.payload_funcs == {"compress"}
+
+
+class TestStdlibFacts:
+    """The analysis facts the optimizer relies on, for the shipped
+    elements."""
+
+    def test_logging(self, stdlib_analyses):
+        logging = stdlib_analyses["Logging"]
+        assert not logging.can_drop
+        assert logging.observable_effects
+        assert logging.append_only_state
+
+    def test_acl(self, stdlib_analyses):
+        acl = stdlib_analyses["Acl"]
+        assert acl.can_drop
+        assert not acl.observable_effects
+        assert acl.deterministic
+        assert "username" in acl.fields_read
+
+    def test_fault(self, stdlib_analyses):
+        fault = stdlib_analyses["Fault"]
+        assert fault.can_drop
+        assert not fault.deterministic
+        assert not fault.observable_effects
+
+    def test_lb_writes_dst(self, stdlib_analyses):
+        lb = stdlib_analyses["LbKeyHash"]
+        assert "dst" in lb.fields_written
+        assert "obj_id" in lb.fields_read
+        assert lb.keyed_state
+
+    def test_compression_touches_payload_only(self, stdlib_analyses):
+        compression = stdlib_analyses["Compression"]
+        assert compression.fields_written == {"payload"}
+        # reads the payload plus the status guard (abort responses skip
+        # the decompression)
+        assert compression.fields_read == {"payload", "status"}
+
+    def test_mirror_multiplies(self, stdlib_analyses):
+        assert stdlib_analyses["Mirror"].can_multiply
+
+    def test_handler_costs_positive(self, stdlib_analyses):
+        for name, analysis in stdlib_analyses.items():
+            assert analysis.handler_cost_us("request") > 0, name
+
+    def test_op_counts_positive(self, stdlib_analyses):
+        for name, analysis in stdlib_analyses.items():
+            assert analysis.handler_ops("request") > 0, name

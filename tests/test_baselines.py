@@ -1,0 +1,258 @@
+"""Baseline stack tests: plain gRPC, gRPC+Envoy mesh, hand-written mRPC
+modules."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    AclConfig,
+    AclRule,
+    EnvoyMeshStack,
+    FaultConfig,
+    GrpcStack,
+    HAND_MODULES,
+    HandAclModule,
+    HandFaultModule,
+    HandLoggingModule,
+    LoggingConfig,
+    RUST_LOC,
+    hand_module_loc,
+    tcp_wire_bytes,
+)
+from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
+from repro.ir import ElementInstance, analyze_element, build_element_ir
+from repro.runtime.message import reset_rpc_ids
+from repro.sim import ClosedLoopClient, Simulator, two_machine_cluster
+
+from conftest import make_rpc
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+
+
+def element_irs(*names, registry=None):
+    program = load_stdlib(schema=SCHEMA)
+    irs = []
+    for name in names:
+        ir = build_element_ir(program.elements[name])
+        analyze_element(ir, registry)
+        irs.append(ir)
+    return irs
+
+
+class TestGrpcStack:
+    def test_roundtrip(self):
+        reset_rpc_ids()
+        sim = Simulator()
+        cluster = two_machine_cluster(sim)
+        stack = GrpcStack(sim, cluster, SCHEMA)
+        client = ClosedLoopClient(sim, stack.call, concurrency=4, total_rpcs=100)
+        metrics = client.run()
+        assert metrics.completed == 100
+        assert metrics.aborted == 0
+        assert stack.wire_bytes_total > 0
+
+    def test_encode_decode_preserves_app_fields(self):
+        sim = Simulator()
+        cluster = two_machine_cluster(sim)
+        stack = GrpcStack(sim, cluster, SCHEMA)
+        message = make_rpc(obj_id=42, username="u", payload=b"pp")
+        headers, fields = stack.decode(stack.encode(message))
+        assert fields["obj_id"] == 42
+        assert fields["payload"] == b"pp"
+        assert headers["x-username"] == "u"  # the §2 header-stuffing hack
+
+    def test_unloaded_latency_order_of_magnitude(self):
+        # plain gRPC RTT should land in the ~100-400us range typical of
+        # LAN gRPC with small messages
+        reset_rpc_ids()
+        sim = Simulator()
+        cluster = two_machine_cluster(sim)
+        stack = GrpcStack(sim, cluster, SCHEMA)
+        client = ClosedLoopClient(sim, stack.call, concurrency=1, total_rpcs=50)
+        metrics = client.run()
+        assert 80 < metrics.latency.median_us() < 400
+
+
+class TestEnvoyMesh:
+    def build(self, sim, cluster, registry):
+        logging_ir, acl_ir, fault_ir = element_irs(
+            "Logging", "Acl", "Fault", registry=registry
+        )
+        return EnvoyMeshStack(
+            sim,
+            cluster,
+            SCHEMA,
+            client_filters=[logging_ir, fault_ir],
+            server_filters=[acl_ir],
+            registry=registry,
+        )
+
+    def test_roundtrip_with_filters(self):
+        reset_rpc_ids()
+        sim = Simulator()
+        cluster = two_machine_cluster(sim)
+        stack = self.build(sim, cluster, FunctionRegistry())
+        client = ClosedLoopClient(sim, stack.call, concurrency=8, total_rpcs=300)
+        metrics = client.run()
+        assert metrics.completed == 300
+        assert 10 <= metrics.aborted <= 80  # ACL denials + faults
+
+    def test_four_traversals_per_ok_rpc(self):
+        reset_rpc_ids()
+        sim = Simulator()
+        cluster = two_machine_cluster(sim)
+        registry = FunctionRegistry(rng=random.Random(1))
+        stack = self.build(sim, cluster, registry)
+        process = sim.process(
+            stack.call(payload=b"x", username="usr2", obj_id=1)
+        )
+        outcome = sim.run_until_complete(process)
+        assert outcome.ok
+        assert stack.client_sidecar.traversals == 2
+        assert stack.server_sidecar.traversals == 2
+
+    def test_client_side_abort_never_crosses_wire(self):
+        reset_rpc_ids()
+        sim = Simulator()
+        cluster = two_machine_cluster(sim)
+        registry = FunctionRegistry()
+        logging_ir, acl_ir, fault_ir = element_irs(
+            "Logging", "Acl", "Fault", registry=registry
+        )
+        # put the ACL on the *client* sidecar so denials abort locally
+        stack = EnvoyMeshStack(
+            sim,
+            cluster,
+            SCHEMA,
+            client_filters=[acl_ir],
+            server_filters=[],
+            registry=registry,
+        )
+        process = sim.process(
+            stack.call(payload=b"x", username="usr1", obj_id=1)
+        )
+        outcome = sim.run_until_complete(process)
+        assert outcome.aborted_by == "Acl"
+        assert stack.wire_bytes_total == 0
+        assert stack.server_sidecar.traversals == 0
+
+    def test_mesh_slower_than_plain_grpc(self):
+        def grpc_run():
+            reset_rpc_ids()
+            sim = Simulator()
+            cluster = two_machine_cluster(sim)
+            stack = GrpcStack(sim, cluster, SCHEMA)
+            client = ClosedLoopClient(
+                sim, stack.call, concurrency=1, total_rpcs=50
+            )
+            return client.run().latency.median_us()
+
+        def mesh_run():
+            reset_rpc_ids()
+            sim = Simulator()
+            cluster = two_machine_cluster(sim)
+            stack = self.build(sim, cluster, FunctionRegistry())
+            client = ClosedLoopClient(
+                sim, stack.call, concurrency=1, total_rpcs=50
+            )
+            return client.run().latency.median_us()
+
+        assert mesh_run() > 2.5 * grpc_run()
+
+    def test_tcp_wire_bytes(self):
+        assert tcp_wire_bytes(100) == 154
+        assert tcp_wire_bytes(3000) == 3000 + 3 * 54
+
+
+class TestHandModules:
+    def test_logging_matches_generated_behaviour(self):
+        module = HandLoggingModule(clock=lambda: 1.5)
+        out = module.process(make_rpc(rpc_id=9), "request")
+        assert len(out) == 1
+        module.process(make_rpc(rpc_id=9, kind="response"), "response")
+        entries = module.log_entries()
+        assert [e[1] for e in entries] == ["request", "response"]
+        assert entries[0][0] == 1.5
+
+    def test_logging_buffer_bounded(self):
+        config = LoggingConfig(max_buffered_entries=10, flush_every=100)
+        module = HandLoggingModule(config=config)
+        for i in range(50):
+            module.process(make_rpc(rpc_id=i), "request")
+        assert len(module.buffer) <= 10
+        assert module.dropped_entries == 40
+
+    def test_logging_flush_batches(self):
+        config = LoggingConfig(flush_every=5)
+        module = HandLoggingModule(config=config)
+        for i in range(12):
+            module.process(make_rpc(rpc_id=i), "request")
+        assert len(module.flushed) == 10
+        assert len(module.buffer) == 2
+
+    def test_acl_matches_stdlib_semantics(self):
+        module = HandAclModule()
+        assert module.process(make_rpc(username="usr2"), "request")
+        assert module.process(make_rpc(username="usr1"), "request") == []
+        assert module.process(make_rpc(username="nobody"), "request") == []
+        assert module.process(make_rpc(kind="response"), "response")
+        assert module.allowed == 1
+        assert module.denied == 2
+
+    def test_acl_rule_management(self):
+        module = HandAclModule(AclConfig(rules=[AclRule("a", "W")]))
+        assert module.process(make_rpc(username="a"), "request")
+        module.remove_rule("a")
+        assert module.process(make_rpc(username="a"), "request") == []
+        module.add_rule("b", "W")
+        assert module.process(make_rpc(username="b"), "request")
+
+    def test_fault_rate(self):
+        module = HandFaultModule(
+            FaultConfig(abort_probability=0.02), rng=random.Random(5)
+        )
+        dropped = sum(
+            1
+            for i in range(2000)
+            if not module.process(make_rpc(rpc_id=i), "request")
+        )
+        assert 20 <= dropped <= 70
+        assert module.injected == dropped
+
+    def test_fault_config_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(abort_probability=1.5)
+
+    def test_hand_vs_generated_differential(self):
+        """Hand modules behave identically to the DSL elements for ACL
+        (the deterministic one)."""
+        registry = FunctionRegistry()
+        (acl_ir,) = element_irs("Acl", registry=registry)
+        generated = ElementInstance(acl_ir, registry)
+        hand = HandAclModule()
+        for i in range(50):
+            user = ("usr1", "usr2", "ghost")[i % 3]
+            rpc = make_rpc(rpc_id=i, username=user)
+            generated_out = [
+                {k: v for k, v in row.items() if isinstance(k, str)}
+                for row in generated.process(dict(rpc), "request")
+            ]
+            hand_out = hand.process(dict(rpc), "request")
+            assert bool(generated_out) == bool(hand_out), user
+
+    def test_loc_comparison_shape(self):
+        # DSL sources are tens of lines; hand Python is a few times more;
+        # the paper's Rust is two orders of magnitude more
+        from repro.dsl.stdlib import stdlib_loc
+
+        for name in ("Logging", "Acl", "Fault"):
+            assert name in HAND_MODULES
+            dsl = stdlib_loc(name)
+            hand = hand_module_loc(name)
+            rust = RUST_LOC[name]
+            assert dsl <= 30
+            assert hand > dsl
+            assert rust >= 10 * dsl

@@ -1,0 +1,132 @@
+"""Chaos soak: random chains × random placements × random workloads.
+
+Each trial builds a random element chain, solves a random placement
+strategy on random hardware, runs a random closed-loop workload, and
+checks the global invariants: every issued RPC completes, Little's law
+holds, CPU accounting is conservative, and the data plane's drop
+counters agree with the client's view. Seeded: failures reproduce.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler.compiler import AdnCompiler
+from repro.control import ClusterSpec, PlacementRequest, solve_placement
+from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
+from repro.dsl.ast_nodes import ChainDecl
+from repro.runtime import AdnMrpcStack
+from repro.runtime.message import reset_rpc_ids
+from repro.sim import ClosedLoopClient, Simulator, two_machine_cluster
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+
+#: pool excludes the §2 payload pairs (order-coupled by design) and
+#: GlobalQuota (quota exhaustion makes "all complete" trivially false)
+POOL = [
+    "Logging",
+    "Acl",
+    "Fault",
+    "LbKeyHash",
+    "Metrics",
+    "Admission",
+    "Encryption",
+    "Router",
+    "Mirror",
+    "SizeLimit",
+]
+
+STRATEGIES = ["software", "inapp", "offload", "scaleout"]
+
+
+def run_trial(seed: int):
+    rng = random.Random(seed)
+    names = rng.sample(POOL, k=rng.randint(1, 5))
+    strategy = rng.choice(STRATEGIES)
+    smartnics = rng.random() < 0.5
+    programmable_switch = rng.random() < 0.5
+    fuse = rng.random() < 0.5
+    concurrency = rng.choice([1, 4, 16, 64])
+    total = rng.choice([100, 300])
+
+    reset_rpc_ids()
+    registry = FunctionRegistry(rng=random.Random(seed))
+    program = load_stdlib(schema=SCHEMA)
+    compiler = AdnCompiler(registry=registry)
+    chain = compiler.compile_chain(
+        ChainDecl(src="A", dst="B", elements=tuple(names)), program, SCHEMA
+    )
+    plan = solve_placement(
+        PlacementRequest(
+            chain=chain,
+            schema=SCHEMA,
+            strategy=strategy,
+            cluster=ClusterSpec(
+                smartnics=smartnics,
+                programmable_switch=programmable_switch,
+            ),
+            replicas=rng.choice([2, 4]) if strategy == "scaleout" else 1,
+            fuse_segments=fuse,
+        )
+    )
+    sim = Simulator()
+    cluster = two_machine_cluster(
+        sim, smartnics=smartnics, programmable_switch=programmable_switch
+    )
+    stack = AdnMrpcStack(
+        sim, cluster, chain, SCHEMA, registry, plan=plan, server_replicas=2
+    )
+
+    def fields(workload_rng, index):
+        return {
+            "payload": b"x" * workload_rng.choice([16, 128, 1024]),
+            "username": workload_rng.choice(["usr1", "usr2", "ghost"]),
+            "obj_id": workload_rng.randrange(1 << 12),
+        }
+
+    client = ClosedLoopClient(
+        sim,
+        stack.call,
+        concurrency=concurrency,
+        total_rpcs=total,
+        seed=seed,
+        fields_fn=fields,
+    )
+    metrics = client.run()
+    return names, plan, stack, cluster, metrics, concurrency, total, sim
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_chaos_trial(seed):
+    (
+        names,
+        plan,
+        stack,
+        cluster,
+        metrics,
+        concurrency,
+        total,
+        sim,
+    ) = run_trial(seed)
+    context = f"seed={seed} chain={names} plan={plan.description}"
+    # 1. every issued RPC is answered
+    assert metrics.completed == total, context
+    # 2. the client's abort count equals the data plane's drop count
+    drops = sum(p.rpcs_dropped for p in stack.processors)
+    assert drops == metrics.aborted, context
+    # 3. Little's law (generous tolerance: short runs, small N)
+    if total >= 300 and concurrency >= 4:
+        assert metrics.check_littles_law(concurrency, tolerance=0.5), context
+    # 4. CPU accounting is conservative: busy time never exceeds
+    #    capacity x elapsed for any thread
+    for machine in cluster.machines.values():
+        for resource in machine.threads.values():
+            assert (
+                resource.busy_time
+                <= sim.now * resource.capacity + 1e-9
+            ), (context, resource.name)
+    # 5. latencies are sane
+    assert metrics.latency.percentile(0) > 0
+    assert metrics.latency.percentile(100) < 1.0, context

@@ -1,0 +1,152 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+ELEMENT_SRC = """
+element Stamp {
+    on request { SELECT input.*, now() AS stamped_at FROM input; }
+    on response { SELECT * FROM input; }
+}
+"""
+
+APP_SRC = (
+    ELEMENT_SRC
+    + """
+app Shop {
+    service A;
+    service B replicas 2;
+    chain A -> B { Stamp, Acl }
+}
+"""
+)
+
+
+@pytest.fixture
+def dsl_file(tmp_path):
+    path = tmp_path / "app.adn"
+    path.write_text(APP_SRC)
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_file(self, dsl_file, capsys):
+        assert main(["check", dsl_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "elements: 1" in out
+
+    def test_analyze_flag(self, dsl_file, capsys):
+        assert main(["check", dsl_file, "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "Stamp:" in out
+        assert "stamped_at" in out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.adn"
+        path.write_text("element Broken { on request { SELECT; } }")
+        assert main(["check", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_custom_schema_fields(self, tmp_path, capsys):
+        path = tmp_path / "custom.adn"
+        path.write_text(
+            "element E { on request { SELECT input.tenant FROM input; } }"
+        )
+        # custom schemas exclude the stdlib (whose elements reference the
+        # default fields)
+        assert (
+            main(["check", str(path), "--field", "tenant:str", "--no-stdlib"])
+            == 0
+        )
+
+    def test_bad_field_spec(self, dsl_file, capsys):
+        assert main(["check", dsl_file, "--field", "nocolon"]) == 1
+
+
+class TestFmt:
+    def test_prints_canonical(self, dsl_file, capsys):
+        assert main(["fmt", dsl_file]) == 0
+        out = capsys.readouterr().out
+        assert "element Stamp {" in out
+        assert "app Shop {" in out
+
+    def test_in_place_round_trips(self, dsl_file, capsys):
+        assert main(["fmt", dsl_file, "--in-place"]) == 0
+        # formatted output must still check clean
+        assert main(["check", dsl_file]) == 0
+
+    def test_output_is_stable(self, dsl_file, capsys):
+        main(["fmt", dsl_file])
+        first = capsys.readouterr().out
+        path = dsl_file
+        with open(path, "w") as handle:
+            handle.write(first)
+        main(["fmt", path])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestCompile:
+    def test_legality_listing(self, dsl_file, capsys):
+        assert main(["compile", dsl_file]) == 0
+        out = capsys.readouterr().out
+        assert "python" in out
+        assert "OK" in out
+
+    def test_emit_backend_source(self, dsl_file, capsys):
+        assert main(["compile", dsl_file, "--element", "Acl", "--emit", "p4"]) == 0
+        out = capsys.readouterr().out
+        assert "#include <v1model.p4>" in out
+
+    def test_unknown_element(self, dsl_file, capsys):
+        assert main(["compile", dsl_file, "--element", "Ghost"]) == 1
+
+
+class TestPlan:
+    def test_software_plan(self, dsl_file, capsys):
+        assert main(["plan", dsl_file]) == 0
+        out = capsys.readouterr().out
+        assert "chain A -> B" in out
+        assert "mrpc@client-host" in out
+
+    def test_offload_plan_with_switch(self, dsl_file, capsys):
+        assert main(
+            ["plan", dsl_file, "--strategy", "offload", "--switch",
+             "--smartnics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "switch" in out or "smartnic" in out or "kernel" in out
+
+    def test_no_app(self, tmp_path, capsys):
+        path = tmp_path / "noapp.adn"
+        path.write_text(ELEMENT_SRC)
+        assert main(["plan", str(path)]) == 1
+
+
+class TestBench:
+    def test_quick_adn_run(self, capsys):
+        assert main(
+            ["bench", "--chain", "Acl", "--rpcs", "300",
+             "--concurrency", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completed   : 300" in out
+        assert "krps" in out
+
+    def test_grpc_system(self, capsys):
+        assert main(
+            ["bench", "--system", "grpc", "--chain", "", "--rpcs", "100",
+             "--concurrency", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "system      : grpc" in out
+
+    def test_envoy_system(self, capsys):
+        assert main(
+            ["bench", "--system", "envoy", "--chain", "Fault",
+             "--rpcs", "100", "--concurrency", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "system      : envoy" in out

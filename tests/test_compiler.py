@@ -1,0 +1,121 @@
+"""Top-level compiler driver tests."""
+
+import pytest
+
+from repro.compiler.compiler import AdnCompiler, compile_elements
+from repro.dsl import FieldType, RpcSchema, load_stdlib
+from repro.dsl.ast_nodes import ChainDecl
+from repro.errors import CompileError
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+
+APP_SOURCE = """
+app Store {
+    service A;
+    service B replicas 2;
+    chain A -> B { LbKeyHash, Compression, AccessControl }
+    constrain Compression colocate sender;
+    constrain AccessControl outside_app;
+    constrain LbKeyHash before Compression;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return AdnCompiler()
+
+
+class TestCompileElement:
+    def test_legality_matrix(self, compiler):
+        program = load_stdlib(["Acl", "Compression", "Logging"], schema=SCHEMA)
+        acl = compiler.compile_element(program.elements["Acl"])
+        assert set(acl.legal_backends()) == {"python", "ebpf", "p4", "wasm"}
+        compression = compiler.compile_element(program.elements["Compression"])
+        assert set(compression.legal_backends()) == {"python", "wasm"}
+        logging = compiler.compile_element(program.elements["Logging"])
+        assert "p4" not in logging.legal_backends()
+
+    def test_artifact_access(self, compiler):
+        program = load_stdlib(["Acl"], schema=SCHEMA)
+        compiled = compiler.compile_element(program.elements["Acl"])
+        assert compiled.artifact("python").factory is not None
+        assert "p4" in compiled.artifacts
+
+    def test_missing_artifact_raises_with_reason(self, compiler):
+        program = load_stdlib(["Compression"], schema=SCHEMA)
+        compiled = compiler.compile_element(program.elements["Compression"])
+        with pytest.raises(CompileError, match="payload UDF"):
+            compiled.artifact("p4")
+
+    def test_dsl_loc_recorded(self, compiler):
+        compiled = compile_elements(["Acl"])
+        assert compiled["Acl"].dsl_loc > 0
+
+
+class TestCompileChain:
+    def test_chain_optimized_and_compiled(self, compiler):
+        program = load_stdlib(schema=SCHEMA)
+        decl = ChainDecl(src="A", dst="B", elements=("Logging", "Acl", "Fault"))
+        chain = compiler.compile_chain(decl, program, SCHEMA)
+        assert set(chain.elements) == {"Logging", "Acl", "Fault"}
+        for compiled in chain.elements.values():
+            assert "python" in compiled.artifacts
+
+    def test_unknown_element_rejected(self, compiler):
+        program = load_stdlib(schema=SCHEMA)
+        decl = ChainDecl(src="A", dst="B", elements=("Ghost",))
+        with pytest.raises(CompileError, match="unknown element"):
+            compiler.compile_chain(decl, program, SCHEMA)
+
+    def test_filters_separated(self, compiler):
+        program = load_stdlib(schema=SCHEMA)
+        decl = ChainDecl(src="A", dst="B", elements=("Acl", "Retry"))
+        chain = compiler.compile_chain(decl, program, SCHEMA)
+        assert "Retry" in chain.filters
+        assert "Retry" not in chain.elements
+
+
+class TestCompileSource:
+    def test_full_app_compile(self, compiler):
+        app = compiler.compile_source(APP_SOURCE, SCHEMA)
+        assert app.app.name == "Store"
+        chain = app.chain("A", "B")
+        # pinned pair respected; AccessControl may hoist ahead of both? no:
+        # LbKeyHash before Compression is pinned; order must contain all 3
+        assert sorted(chain.element_order) == [
+            "AccessControl",
+            "Compression",
+            "LbKeyHash",
+        ]
+        index = {name: i for i, name in enumerate(chain.element_order)}
+        assert index["LbKeyHash"] < index["Compression"]
+
+    def test_app_name_required_when_ambiguous(self, compiler):
+        two_apps = APP_SOURCE + APP_SOURCE.replace("Store", "Store2")
+        with pytest.raises(CompileError, match="exactly one app"):
+            compiler.compile_source(two_apps, SCHEMA)
+        app = compiler.compile_source(two_apps, SCHEMA, app_name="Store2")
+        assert app.app.name == "Store2"
+
+    def test_unknown_chain_lookup(self, compiler):
+        app = compiler.compile_source(APP_SOURCE, SCHEMA)
+        with pytest.raises(KeyError):
+            app.chain("B", "A")
+
+    def test_custom_element_with_stdlib(self, compiler):
+        source = (
+            """
+            element Stamp {
+                on request { SELECT input.*, now() AS stamped_at FROM input; }
+                on response { SELECT * FROM input; }
+            }
+            """
+            + "app P { service x; service y; chain x -> y { Stamp, Acl } }"
+        )
+        app = compiler.compile_source(source, SCHEMA)
+        chain = app.chain("x", "y")
+        assert "Stamp" in chain.elements
+        assert "Acl" in chain.elements

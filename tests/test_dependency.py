@@ -1,0 +1,231 @@
+"""Commutativity / dependency analysis tests — including executable
+checks that the verdicts are *sound* (when commute() says yes, running
+the pair in either order really gives the same result)."""
+
+import itertools
+
+import pytest
+
+from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+from repro.ir.dependency import (
+    can_parallelize,
+    commute,
+    ordering_violations,
+)
+from repro.ir.interp import ElementInstance
+
+from conftest import make_rpc
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    program = load_stdlib(schema=SCHEMA)
+    result = {}
+    for name, element in program.elements.items():
+        ir = build_element_ir(element)
+        result[name] = analyze_element(ir)
+    return result
+
+
+class TestPairVerdicts:
+    def test_acl_fault_commute(self, analyses):
+        # two droppers with no effects and disjoint fields
+        assert commute(analyses["Acl"], analyses["Fault"])
+
+    def test_logging_blocks_droppers(self, analyses):
+        # a dropper cannot move before/after an effectful logger
+        verdict = commute(analyses["Logging"], analyses["Acl"])
+        assert not verdict
+        assert any("observable effects" in r for r in verdict.reasons)
+
+    def test_lb_and_compression_commute(self, analyses):
+        # the paper's Figure 2 config 3 justification: compression does
+        # not touch the field the load balancer reads
+        assert commute(analyses["LbKeyHash"], analyses["Compression"])
+
+    def test_compression_pair_conflicts(self, analyses):
+        # both write `payload`
+        verdict = commute(analyses["Compression"], analyses["Decompression"])
+        assert not verdict
+
+    def test_mirror_blocks_droppers(self, analyses):
+        verdict = commute(analyses["Mirror"], analyses["Acl"])
+        assert not verdict
+
+    def test_router_and_lb_conflict_on_dst(self, analyses):
+        verdict = commute(analyses["Router"], analyses["LbKeyHash"])
+        assert not verdict
+        assert any("dst" in r for r in verdict.reasons)
+
+    def test_verdict_is_symmetric(self, analyses):
+        names = list(analyses)
+        for a, b in itertools.combinations(names, 2):
+            assert bool(commute(analyses[a], analyses[b])) == bool(
+                commute(analyses[b], analyses[a])
+            ), (a, b)
+
+
+class TestParallelize:
+    def test_parallel_stricter_than_commute(self, analyses):
+        for a, b in itertools.combinations(analyses, 2):
+            if can_parallelize(analyses[a], analyses[b]):
+                assert commute(analyses[a], analyses[b]), (a, b)
+
+    def test_fanout_never_parallel(self, analyses):
+        for other in analyses:
+            if other == "Mirror":
+                continue
+            assert not can_parallelize(analyses["Mirror"], analyses[other])
+
+    def test_acl_fault_parallel(self, analyses):
+        assert can_parallelize(analyses["Acl"], analyses["Fault"])
+
+
+class TestOrderingViolations:
+    def test_identity_always_legal(self, analyses):
+        order = ["Logging", "Acl", "Fault"]
+        assert ordering_violations(order, order, analyses) == []
+
+    def test_legal_swap(self, analyses):
+        assert (
+            ordering_violations(
+                ["Logging", "Fault", "Acl"], ["Logging", "Acl", "Fault"], analyses
+            )
+            == []
+        )
+
+    def test_illegal_swap_detected(self, analyses):
+        violations = ordering_violations(
+            ["Acl", "Logging", "Fault"], ["Logging", "Acl", "Fault"], analyses
+        )
+        assert violations
+
+    def test_non_adjacent_inversion_checked(self, analyses):
+        violations = ordering_violations(
+            ["Fault", "Compression", "Logging"],
+            ["Logging", "Compression", "Fault"],
+            analyses,
+        )
+        assert violations  # Fault inverted past Logging
+
+
+class TestSoundnessExecutable:
+    """When commute() approves a stdlib pair, executing the pair in both
+    orders over a batch of RPCs must produce identical outputs and drops.
+    (Nondeterministic elements are re-seeded per order.)"""
+
+    class _PerRpcOracle:
+        """rand() as a per-request random oracle: the draw depends only
+        on which RPC is being processed, not on how many draws happened
+        before — the model under which probabilistic fault injection
+        commutes with deterministic droppers."""
+
+        def __init__(self):
+            self.current_rpc = 0
+
+        def random(self):
+            import hashlib
+
+            digest = hashlib.blake2b(
+                str(self.current_rpc).encode(), digest_size=8
+            ).digest()
+            return int.from_bytes(digest, "big") / 2**64
+
+    def run_chain(self, program, order, rpcs, seed=11):
+        oracle = self._PerRpcOracle()
+        registry = FunctionRegistry(rng=oracle)
+        instances = []
+        for name in order:
+            ir = build_element_ir(program.elements[name])
+            analyze_element(ir, registry)
+            instance = ElementInstance(ir, registry)
+            if any(d.name == "endpoints" for d in ir.states):
+                instance.state.table("endpoints").insert_values([0, "B.1"])
+                instance.state.table("endpoints").insert_values([1, "B.2"])
+            instances.append(instance)
+        results = []
+        for rpc in rpcs:
+            oracle.current_rpc = rpc["rpc_id"]
+            current = dict(rpc)
+            dropped = False
+            for instance in instances:
+                outs = instance.process(dict(current), "request")
+                outs = [
+                    {k: v for k, v in row.items() if isinstance(k, str)}
+                    for row in outs
+                ]
+                if not outs:
+                    dropped = True
+                    break
+                current = outs[0]
+            results.append(None if dropped else current)
+        return results
+
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("Acl", "Fault"),
+            ("LbKeyHash", "Compression"),
+            ("Acl", "LbKeyHash"),
+            ("Encryption", "LbKeyHash"),
+        ],
+    )
+    def test_commuting_pairs_agree(self, analyses, pair):
+        first, second = pair
+        assert commute(analyses[first], analyses[second])
+        program = load_stdlib(schema=SCHEMA)
+        rpcs = [
+            make_rpc(rpc_id=i, obj_id=i * 3, username="usr2" if i % 3 else "usr1")
+            for i in range(60)
+        ]
+        forward = self.run_chain(program, [first, second], rpcs)
+        backward = self.run_chain(program, [second, first], rpcs)
+        assert forward == backward
+
+    def test_non_commuting_pair_really_differs(self, analyses):
+        # sanity that the executable harness can detect a difference:
+        # Compression then Decompression restores the payload, reversed
+        # order corrupts it (decompressing uncompressed data fails) —
+        # so we use Router/LbKeyHash, which differ in final dst
+        program = load_stdlib(schema=SCHEMA)
+        for instance_order in (["Router", "LbKeyHash"], ["LbKeyHash", "Router"]):
+            pass
+        rpcs = [make_rpc(rpc_id=i, obj_id=i, method="admin") for i in range(10)]
+
+        def with_route(order):
+            import random
+
+            registry = FunctionRegistry(rng=random.Random(1))
+            instances = []
+            for name in order:
+                ir = build_element_ir(program.elements[name])
+                analyze_element(ir, registry)
+                inst = ElementInstance(ir, registry)
+                if any(d.name == "endpoints" for d in ir.states):
+                    inst.state.table("endpoints").insert_values([0, "B.1"])
+                    inst.state.table("endpoints").insert_values([1, "B.2"])
+                if any(d.name == "routes" for d in ir.states):
+                    inst.state.table("routes").insert(
+                        {"method": "admin", "target": "B.9"}
+                    )
+                instances.append(inst)
+            outs = []
+            for rpc in rpcs:
+                current = dict(rpc)
+                for inst in instances:
+                    result = inst.process(dict(current), "request")
+                    current = {
+                        k: v for k, v in result[0].items() if isinstance(k, str)
+                    }
+                outs.append(current["dst"])
+            return outs
+
+        assert with_route(["LbKeyHash", "Router"]) != with_route(
+            ["Router", "LbKeyHash"]
+        )

@@ -1,0 +1,71 @@
+"""Element catalog tests."""
+
+import pytest
+
+from repro import elements
+from repro.dsl.stdlib import STDLIB_SOURCES
+
+
+class TestCatalogConsistency:
+    def test_every_catalog_element_has_source(self):
+        for name in elements.CATALOG:
+            assert name in STDLIB_SOURCES, name
+
+    def test_every_stdlib_element_is_cataloged(self):
+        cataloged = set(elements.CATALOG) | set(elements.FILTER_CATALOG)
+        for name in STDLIB_SOURCES:
+            assert name in cataloged, name
+
+    def test_categories(self):
+        categories = elements.categories()
+        assert "security" in categories
+        assert "load-balancing" in categories
+
+    def test_names_by_category(self):
+        security = elements.names("security")
+        assert "Acl" in security
+        assert "AccessControl" in security
+        assert "Logging" not in security
+
+    def test_paper_eval_elements_flagged(self):
+        for name in elements.PAPER_EVAL_ELEMENTS:
+            assert elements.CATALOG[name].evaluated_in_paper
+
+    def test_section2_chain_members_exist(self):
+        for name in elements.SECTION2_CHAIN:
+            assert name in elements.CATALOG
+
+    def test_source_and_loc_accessors(self):
+        assert "element Acl" in elements.source_of("Acl")
+        assert 0 < elements.dsl_loc("Acl") <= 30
+
+
+class TestCompileCatalog:
+    def test_compile_subset(self):
+        compiled = elements.compile_catalog(["Acl", "Fault"])
+        assert set(compiled) == {"Acl", "Fault"}
+        assert compiled["Acl"].dsl_loc > 0
+        assert "python" in compiled["Acl"].legal_backends()
+
+    def test_compile_everything(self):
+        compiled = elements.compile_catalog()
+        assert set(compiled) == set(elements.CATALOG)
+        # every element must at least run in software
+        for name, element in compiled.items():
+            assert "python" in element.legal_backends(), name
+            assert "wasm" in element.legal_backends(), name
+
+    def test_offloadability_summary(self):
+        compiled = elements.compile_catalog()
+        p4_capable = {
+            name
+            for name, element in compiled.items()
+            if "p4" in element.legal_backends()
+        }
+        # exactly the header-only, match-action-friendly elements
+        assert "Acl" in p4_capable
+        assert "LbKeyHash" in p4_capable
+        assert "Fault" in p4_capable
+        assert "Compression" not in p4_capable
+        assert "Logging" not in p4_capable
+        assert "Mirror" not in p4_capable

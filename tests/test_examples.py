@@ -1,0 +1,36 @@
+"""Every shipped example must run clean — they are the quickstart
+documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_all_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "object_store.py",
+        "autoscaling.py",
+        "offload_planner.py",
+        "resilience.py",
+        "external_ingress.py",
+    } <= names

@@ -1,0 +1,143 @@
+"""Function registry unit tests."""
+
+import random
+import zlib
+
+import pytest
+
+from repro.dsl.functions import DEFAULT_REGISTRY, FunctionRegistry, FunctionSpec
+from repro.dsl.schema import FieldType
+from repro.errors import DslValidationError
+from repro.platforms import Platform
+
+
+@pytest.fixture
+def registry():
+    return FunctionRegistry()
+
+
+class TestRegistry:
+    def test_builtins_present(self, registry):
+        for name in (
+            "now",
+            "rand",
+            "hash",
+            "len",
+            "min",
+            "max",
+            "count",
+            "contains",
+            "compress",
+            "decompress",
+            "encrypt",
+            "decrypt",
+            "coalesce",
+        ):
+            assert name in registry
+
+    def test_unknown_function(self, registry):
+        with pytest.raises(DslValidationError):
+            registry.get("frobnicate")
+
+    def test_duplicate_registration(self, registry):
+        spec = FunctionSpec("hash", (1,), FieldType.INT, impl=hash)
+        with pytest.raises(DslValidationError, match="already registered"):
+            registry.register(spec)
+
+    def test_custom_udf(self, registry):
+        registry.register(
+            FunctionSpec(
+                "double",
+                arity=(1,),
+                result_type=FieldType.INT,
+                impl=lambda x: x * 2,
+            )
+        )
+        assert registry.get("double").impl(21) == 42
+
+    def test_arity_check(self, registry):
+        spec = registry.get("min")
+        spec.check_arity(2)
+        with pytest.raises(DslValidationError):
+            spec.check_arity(3)
+
+    def test_multi_arity(self, registry):
+        spec = registry.get("concat")
+        spec.check_arity(2)
+        spec.check_arity(4)
+        with pytest.raises(DslValidationError):
+            spec.check_arity(5)
+
+
+class TestSemantics:
+    def test_hash_stable_across_registries(self):
+        a = FunctionRegistry().get("hash").impl("payload")
+        b = FunctionRegistry().get("hash").impl("payload")
+        assert a == b
+        assert isinstance(a, int)
+
+    def test_hash_distributes(self, registry):
+        hash_fn = registry.get("hash").impl
+        buckets = {hash_fn(i) % 4 for i in range(100)}
+        assert buckets == {0, 1, 2, 3}
+
+    def test_rand_seeded(self, registry):
+        registry.bind_rng(random.Random(7))
+        first = [registry.get("rand").impl() for _ in range(3)]
+        registry.bind_rng(random.Random(7))
+        second = [registry.get("rand").impl() for _ in range(3)]
+        assert first == second
+
+    def test_now_bound_to_clock(self, registry):
+        registry.bind_clock(lambda: 42.5)
+        assert registry.get("now").impl() == 42.5
+
+    def test_compress_roundtrip(self, registry):
+        compress = registry.get("compress").impl
+        decompress = registry.get("decompress").impl
+        data = b"hello world " * 20
+        packed = compress(data)
+        assert len(packed) < len(data)
+        assert decompress(packed) == data
+
+    def test_compress_accepts_str(self, registry):
+        packed = registry.get("compress").impl("text payload")
+        assert zlib.decompress(packed) == b"text payload"
+
+    def test_encrypt_roundtrip(self, registry):
+        encrypt = registry.get("encrypt").impl
+        decrypt = registry.get("decrypt").impl
+        data = b"secret"
+        sealed = encrypt(data, "key1")
+        assert sealed != data
+        assert decrypt(sealed, "key1") == data
+        assert decrypt(sealed, "key2") != data
+
+    def test_len_of_none(self, registry):
+        assert registry.get("len").impl(None) == 0
+
+    def test_coalesce(self, registry):
+        coalesce = registry.get("coalesce").impl
+        assert coalesce(None, 5) == 5
+        assert coalesce(3, 5) == 3
+
+
+class TestProperties:
+    def test_payload_ops_flagged(self, registry):
+        for name in ("compress", "decompress", "encrypt", "decrypt"):
+            assert registry.get(name).payload_op
+
+    def test_nondeterministic_flagged(self, registry):
+        assert not registry.get("rand").deterministic
+        assert not registry.get("now").deterministic
+        assert registry.get("hash").deterministic
+
+    def test_payload_ops_not_on_switch(self, registry):
+        assert Platform.SWITCH_P4 not in registry.get("compress").platforms
+        assert Platform.KERNEL_EBPF not in registry.get("compress").platforms
+
+    def test_hash_everywhere(self, registry):
+        assert Platform.SWITCH_P4 in registry.get("hash").platforms
+
+    def test_default_registry_is_shared(self):
+        assert DEFAULT_REGISTRY.get("hash") is DEFAULT_REGISTRY.get("hash")

@@ -1,0 +1,133 @@
+"""Ingress/egress gateway and application-peering tests (paper §7)."""
+
+import pytest
+
+from repro.compiler.headers import build_layout
+from repro.dsl import FieldType, RpcSchema
+from repro.net.wire import AdnWireCodec
+from repro.runtime.gateway import (
+    EgressGateway,
+    IngressGateway,
+    downshift_transfer,
+    peer_translate,
+    peering_savings,
+)
+from repro.runtime.message import make_request
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+
+
+def sample_message():
+    return make_request(
+        SCHEMA,
+        src="A.0",
+        dst="B",
+        method="get",
+        rpc_id=7,
+        payload=b"external data",
+        username="usr2",
+        obj_id=42,
+    )
+
+
+def layout_for(*names, schema=SCHEMA):
+    types = dict(schema.all_fields())
+    return build_layout({name: types[name] for name in names})
+
+
+class TestGatewayRoundTrip:
+    def test_egress_then_ingress_preserves_tuple(self):
+        message = sample_message()
+        egress = EgressGateway(SCHEMA, authority="B")
+        ingress = IngressGateway(SCHEMA)
+        grpc_bytes = egress.translate_out(message)
+        restored = ingress.translate_in(grpc_bytes)
+        for field in ("rpc_id", "method", "kind", "status",
+                      "payload", "username", "obj_id"):
+            assert restored[field] == message[field], field
+        assert ingress.translated == 1
+        assert egress.translated == 1
+
+    def test_ingress_parses_external_grpc(self):
+        from repro.net.http2 import encode_grpc_message, default_grpc_headers
+        from repro.net.serialization import ProtoCodec
+
+        codec = ProtoCodec(SCHEMA)
+        payload = codec.encode({"payload": b"x", "obj_id": 3})
+        headers = default_grpc_headers("put", "B")
+        headers["x-rpc-id"] = "99"
+        data = encode_grpc_message(headers, payload)
+        tuple_row = IngressGateway(SCHEMA).translate_in(data)
+        assert tuple_row["method"] == "put"
+        assert tuple_row["rpc_id"] == 99
+        assert tuple_row["obj_id"] == 3
+        assert tuple_row["username"] is None
+
+    def test_gateway_costs_positive(self):
+        assert IngressGateway(SCHEMA).cost_us() > 0
+        assert EgressGateway(SCHEMA).cost_us() > 0
+
+
+class TestPeering:
+    def test_translation_carries_shared_fields(self):
+        sender = AdnWireCodec(
+            layout_for("rpc_id", "dst", "src", "kind", "obj_id", "payload")
+        )
+        receiver = AdnWireCodec(
+            layout_for("rpc_id", "dst", "src", "kind", "obj_id")
+        )
+        message = sample_message()
+        encoded, report = peer_translate(sender, receiver, message)
+        decoded = receiver.decode(encoded)
+        assert decoded["obj_id"] == 42
+        assert report.fields_dropped == ("payload",)
+
+    def test_no_drops_when_receiver_superset(self):
+        sender = AdnWireCodec(layout_for("rpc_id", "obj_id"))
+        receiver = AdnWireCodec(layout_for("rpc_id", "obj_id", "payload"))
+        _encoded, report = peer_translate(sender, receiver, sample_message())
+        assert report.fields_dropped == ()
+
+    def test_downshift_round_trips_fields(self):
+        sender = AdnWireCodec(
+            layout_for("rpc_id", "dst", "src", "kind", "obj_id", "payload")
+        )
+        receiver = AdnWireCodec(layout_for("rpc_id", "obj_id", "payload"))
+        encoded, _report = downshift_transfer(
+            sender, receiver, SCHEMA, sample_message()
+        )
+        decoded = receiver.decode(encoded)
+        assert decoded["payload"] == b"external data"
+
+    def test_peering_cheaper_than_downshift(self):
+        sender_layout = layout_for(
+            "rpc_id", "dst", "src", "kind", "status", "obj_id", "payload"
+        )
+        receiver_layout = layout_for(
+            "rpc_id", "dst", "src", "kind", "status", "obj_id", "payload"
+        )
+        savings = peering_savings(
+            sender_layout, receiver_layout, SCHEMA, sample_message()
+        )
+        # fewer bytes between the apps and far less CPU: no wrapped-stack
+        # parse/serialize in the middle
+        assert savings["byte_ratio"] > 1.5
+        assert savings["cpu_ratio"] > 3.0
+
+    def test_peering_savings_shape(self):
+        savings = peering_savings(
+            layout_for("rpc_id", "obj_id"),
+            layout_for("rpc_id", "obj_id"),
+            SCHEMA,
+            sample_message(),
+        )
+        assert set(savings) == {
+            "peered_bytes",
+            "downshift_bytes",
+            "peered_cpu_us",
+            "downshift_cpu_us",
+            "byte_ratio",
+            "cpu_ratio",
+        }

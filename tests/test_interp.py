@@ -1,0 +1,316 @@
+"""Reference interpreter unit tests (semantics beyond what the stdlib
+tests cover: joins, fan-out, NULL handling, errors)."""
+
+import pytest
+
+from repro.dsl.parser import parse_element
+from repro.dsl.validator import validate_element
+from repro.errors import RuntimeFault
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+from repro.ir.interp import ElementInstance
+
+
+def instance(source, registry=None):
+    ir = build_element_ir(validate_element(parse_element(source)))
+    analyze_element(ir, registry)
+    return ElementInstance(ir, registry)
+
+
+RPC = {
+    "src": "A.0",
+    "dst": "B",
+    "rpc_id": 1,
+    "method": "get",
+    "kind": "request",
+    "status": "ok",
+    "a": 5,
+    "b": 2,
+}
+
+
+class TestProjections:
+    def test_field_override(self):
+        element = instance(
+            "element E { on request { SELECT input.*, a + b AS a FROM input; } }"
+        )
+        out = element.process(dict(RPC), "request")
+        assert out[0]["a"] == 7
+        assert out[0]["b"] == 2
+
+    def test_narrowing_drops_fields(self):
+        element = instance(
+            "element E { on request { SELECT input.a FROM input; } }"
+        )
+        out = element.process(dict(RPC), "request")
+        assert out[0] == {"a": 5}
+
+    def test_case_expression(self):
+        element = instance(
+            """
+            element E {
+                on request {
+                    SELECT input.*, CASE WHEN a > 3 THEN 'big' ELSE 'small' END AS size
+                    FROM input;
+                }
+            }
+            """
+        )
+        out = element.process(dict(RPC), "request")
+        assert out[0]["size"] == "big"
+
+
+class TestJoins:
+    SOURCE = """
+    element E {
+        state t (k: int KEY, v: str);
+        init { INSERT INTO t VALUES (5, 'five'), (6, 'six'); }
+        on request {
+            SELECT input.*, t.v AS label FROM input JOIN t ON t.k == input.a;
+        }
+    }
+    """
+
+    def test_matching_join(self):
+        element = instance(self.SOURCE)
+        out = element.process(dict(RPC), "request")
+        assert out[0]["label"] == "five"
+
+    def test_non_matching_join_drops(self):
+        element = instance(self.SOURCE)
+        rpc = dict(RPC, a=99)
+        assert element.process(rpc, "request") == []
+
+    def test_fan_out_join(self):
+        element = instance(
+            """
+            element E {
+                state t (k: int, v: str);
+                init { INSERT INTO t VALUES (5, 'x'), (5, 'y'); }
+                on request {
+                    SELECT input.*, t.v AS tag FROM input JOIN t ON t.k == input.a;
+                }
+            }
+            """
+        )
+        out = element.process(dict(RPC), "request")
+        assert sorted(row["tag"] for row in out) == ["x", "y"]
+
+    def test_star_over_joined_table(self):
+        element = instance(
+            """
+            element E {
+                state t (k: int KEY, v: str);
+                init { INSERT INTO t VALUES (5, 'five'); }
+                on request {
+                    SELECT t.* FROM input JOIN t ON t.k == input.a;
+                }
+            }
+            """
+        )
+        out = element.process(dict(RPC), "request")
+        assert out[0] == {"k": 5, "v": "five"}
+
+
+class TestStateMutations:
+    def test_update_uses_input(self):
+        element = instance(
+            """
+            element E {
+                state t (k: int KEY, n: int);
+                init { INSERT INTO t VALUES (5, 0); }
+                on request {
+                    UPDATE t SET n = n + input.b WHERE k == input.a;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        element.process(dict(RPC), "request")
+        element.process(dict(RPC), "request")
+        assert element.state.table("t").get(5)["n"] == 4
+
+    def test_delete_where(self):
+        element = instance(
+            """
+            element E {
+                state t (k: int KEY, n: int);
+                init { INSERT INTO t VALUES (1, 10), (2, 20), (3, 30); }
+                on request {
+                    DELETE FROM t WHERE n >= input.a * 4;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        element.process(dict(RPC), "request")  # a=5 → delete n >= 20
+        assert len(element.state.table("t")) == 1
+
+    def test_guarded_set_skipped(self):
+        element = instance(
+            """
+            element E {
+                var n: int = 0;
+                on request {
+                    SET n = n + 1 WHERE input.a > 100;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        element.process(dict(RPC), "request")
+        assert element.state.vars["n"] == 0
+
+    def test_vars_persist_across_calls(self):
+        element = instance(
+            """
+            element E {
+                var n: int = 0;
+                on request { SET n = n + 1; SELECT * FROM input; }
+            }
+            """
+        )
+        for _ in range(3):
+            element.process(dict(RPC), "request")
+        assert element.state.vars["n"] == 3
+
+
+class TestEdgeCases:
+    def test_missing_handler_forwards(self):
+        element = instance("element E { on request { SELECT * FROM input; } }")
+        out = element.process(dict(RPC), "response")
+        assert out == [dict(RPC)]
+
+    def test_unknown_field_raises(self):
+        element = instance(
+            "element E { on request { SELECT input.ghost FROM input; } }"
+        )
+        with pytest.raises(RuntimeFault, match="no field"):
+            element.process(dict(RPC), "request")
+
+    def test_null_comparison_is_false(self):
+        element = instance(
+            "element E { on request { SELECT * FROM input WHERE input.a > 3; } }"
+        )
+        rpc = dict(RPC, a=None)
+        assert element.process(rpc, "request") == []
+
+    def test_division_by_zero_raises(self):
+        element = instance(
+            "element E { on request { SELECT input.a / 0 AS x FROM input; } }"
+        )
+        with pytest.raises(RuntimeFault, match="division"):
+            element.process(dict(RPC), "request")
+
+    def test_clone_fresh_reinitializes(self):
+        element = instance(
+            """
+            element E {
+                state t (k: int KEY, v: str);
+                init { INSERT INTO t VALUES (1, 'x'); }
+                var n: int = 0;
+                on request { SET n = n + 1; SELECT * FROM input; }
+            }
+            """
+        )
+        element.process(dict(RPC), "request")
+        clone = element.clone_fresh()
+        assert clone.state.vars["n"] == 0
+        assert len(clone.state.table("t")) == 1
+
+    def test_multiple_statements_all_from_original_input(self):
+        # each statement re-reads the element's input, not prior outputs
+        element = instance(
+            """
+            element E {
+                on request {
+                    SELECT input.*, a + 1 AS a FROM input;
+                    SELECT input.*, a + 10 AS a FROM input;
+                }
+            }
+            """
+        )
+        out = element.process(dict(RPC), "request")
+        assert [row["a"] for row in out] == [6, 15]
+
+
+class TestColumnAggregates:
+    SOURCE = """
+    element E {
+        state t (k: int KEY, v: int);
+        init { INSERT INTO t VALUES (1, 10), (2, 20), (3, 30); }
+        on request {
+            SELECT input.*, sum_of(t, v) AS total, min_of(t, v) AS lo,
+                   max_of(t, v) AS hi, avg_of(t, v) AS mean
+            FROM input;
+        }
+    }
+    """
+
+    def test_aggregates_evaluate(self):
+        element = instance(self.SOURCE)
+        out = element.process(dict(RPC), "request")[0]
+        assert out["total"] == 60
+        assert out["lo"] == 10
+        assert out["hi"] == 30
+        assert out["mean"] == pytest.approx(20.0)
+
+    def test_empty_table_semantics(self):
+        element = instance(
+            """
+            element E {
+                state t (k: int KEY, v: int);
+                on request {
+                    SELECT input.*, sum_of(t, v) AS total FROM input
+                    WHERE sum_of(t, v) == 0;
+                }
+            }
+            """
+        )
+        out = element.process(dict(RPC), "request")
+        assert out[0]["total"] == 0
+
+    def test_aggregate_validation(self):
+        from repro.errors import DslValidationError
+
+        with pytest.raises(DslValidationError, match="column"):
+            instance(
+                """
+                element E {
+                    state t (k: int KEY, v: int);
+                    on request {
+                        SELECT * FROM input WHERE sum_of(t, ghost) > 0;
+                    }
+                }
+                """
+            )
+
+    def test_aggregate_needs_table(self):
+        from repro.errors import DslValidationError
+
+        with pytest.raises(DslValidationError, match="state-table name"):
+            instance(
+                "element E { on request { SELECT * FROM input WHERE sum_of(input.a, x) > 0; } }"
+            )
+
+    def test_aggregates_software_only(self):
+        from repro.compiler.backends import EbpfBackend, P4Backend
+        from repro.dsl import DEFAULT_REGISTRY
+
+        ir = build_element_ir(
+            validate_element(
+                parse_element(
+                    """
+                    element E {
+                        state t (k: int KEY, v: int);
+                        on request {
+                            SELECT * FROM input WHERE sum_of(t, v) < 10;
+                        }
+                    }
+                    """
+                )
+            )
+        )
+        analyze_element(ir, DEFAULT_REGISTRY)
+        assert not EbpfBackend(DEFAULT_REGISTRY).check(ir).legal
+        assert not P4Backend(DEFAULT_REGISTRY).check(ir).legal

@@ -1,0 +1,186 @@
+"""IR lowering unit tests."""
+
+import pytest
+
+from repro.dsl.parser import parse_element
+from repro.dsl.validator import validate_element
+from repro.errors import CompileError
+from repro.ir.builder import build_element_ir
+from repro.ir.nodes import (
+    AssignVar,
+    DeleteRows,
+    EmitRows,
+    FilterRows,
+    InsertLiterals,
+    InsertRows,
+    JoinState,
+    Project,
+    Scan,
+    UpdateRows,
+)
+
+
+def lower(source):
+    return build_element_ir(validate_element(parse_element(source)))
+
+
+def ops_of(ir, kind="request", statement=0):
+    return ir.handlers[kind].statements[statement].ops
+
+
+class TestSelectLowering:
+    def test_plain_select_star(self):
+        ir = lower("element E { on request { SELECT * FROM input; } }")
+        ops = ops_of(ir)
+        assert [type(op) for op in ops] == [Scan, Project, EmitRows]
+        project = ops[1]
+        assert project.keep_input
+        assert project.items == ()
+
+    def test_select_with_alias(self):
+        ir = lower(
+            """
+            element E {
+                on request { SELECT input.*, hash(x) AS h FROM input; }
+            }
+            """
+        )
+        project = ops_of(ir)[1]
+        assert project.keep_input
+        assert project.items[0][0] == "h"
+
+    def test_join_filter_order(self):
+        ir = lower(
+            """
+            element E {
+                state t (k: int KEY, v: int);
+                on request {
+                    SELECT input.* FROM input JOIN t ON t.k == input.x
+                    WHERE t.v > 0;
+                }
+            }
+            """
+        )
+        ops = ops_of(ir)
+        assert [type(op) for op in ops] == [
+            Scan,
+            JoinState,
+            FilterRows,
+            Project,
+            EmitRows,
+        ]
+
+    def test_select_into_table(self):
+        ir = lower(
+            """
+            element E {
+                state t (ts: float, p: bytes) APPEND;
+                on request {
+                    INSERT INTO t SELECT now(), input.p FROM input;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        ops = ops_of(ir, statement=0)
+        assert isinstance(ops[-1], InsertRows)
+        project = ops[-2]
+        # positional mapping onto the table's columns
+        assert [name for name, _ in project.items] == ["ts", "p"]
+
+    def test_unaliased_expression_needs_alias(self):
+        with pytest.raises(CompileError, match="alias"):
+            lower("element E { on request { SELECT 1 + 2 FROM input; } }")
+
+    def test_unaliased_column_uses_own_name(self):
+        ir = lower("element E { on request { SELECT input.x FROM input; } }")
+        project = ops_of(ir)[1]
+        assert project.items[0][0] == "x"
+        assert not project.keep_input
+
+
+class TestOtherLowering:
+    def test_update(self):
+        ir = lower(
+            """
+            element E {
+                state t (k: str KEY, n: int);
+                on request { UPDATE t SET n = n + 1; SELECT * FROM input; }
+            }
+            """
+        )
+        op = ops_of(ir)[0]
+        assert isinstance(op, UpdateRows)
+        assert op.table == "t"
+
+    def test_delete(self):
+        ir = lower(
+            """
+            element E {
+                state t (k: str KEY, n: int);
+                on request { DELETE FROM t WHERE n > 3; SELECT * FROM input; }
+            }
+            """
+        )
+        assert isinstance(ops_of(ir)[0], DeleteRows)
+
+    def test_set_var(self):
+        ir = lower(
+            """
+            element E {
+                var n: int = 0;
+                on request { SET n = n + 1; SELECT * FROM input; }
+            }
+            """
+        )
+        op = ops_of(ir)[0]
+        assert isinstance(op, AssignVar)
+        assert op.var == "n"
+
+    def test_insert_values_in_init(self):
+        ir = lower(
+            """
+            element E {
+                state t (k: str KEY, v: str);
+                init { INSERT INTO t VALUES ('a', 'b'); }
+                on request { SELECT * FROM input; }
+            }
+            """
+        )
+        op = ir.init[0].ops[0]
+        assert isinstance(op, InsertLiterals)
+        assert op.rows == (("a", "b"),)
+
+    def test_missing_handler_lowered_as_absent(self):
+        ir = lower("element E { on request { SELECT * FROM input; } }")
+        assert ir.handler("response") is None
+
+    def test_statement_emits_property(self):
+        ir = lower(
+            """
+            element E {
+                state t (x: int KEY);
+                on request {
+                    INSERT INTO t SELECT input.x FROM input;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        statements = ir.handlers["request"].statements
+        assert not statements[0].emits
+        assert statements[0].writes_state
+        assert statements[1].emits
+        assert not statements[1].writes_state
+
+    def test_meta_copied(self):
+        ir = lower(
+            """
+            element E {
+                meta { position: sender; mandatory: true; }
+                on request { SELECT * FROM input; }
+            }
+            """
+        )
+        assert ir.position == "sender"
+        assert ir.mandatory

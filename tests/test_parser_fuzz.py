@@ -1,0 +1,59 @@
+"""Parser/lexer robustness: arbitrary input must either parse or raise
+a DSL error — never crash with anything else, never hang."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.lexer import tokenize
+from repro.dsl.parser import parse
+from repro.dsl.printer import print_program
+from repro.errors import AdnError
+
+dsl_alphabet = (
+    string.ascii_letters
+    + string.digits
+    + " \t\n'\"(){};:,.*+-/%<>=!_#"
+)
+
+
+class TestFuzz:
+    @given(st.text(alphabet=dsl_alphabet, max_size=300))
+    @settings(max_examples=300, deadline=None)
+    def test_parse_never_crashes(self, source):
+        try:
+            parse(source)
+        except AdnError:
+            pass  # rejection with a typed error is the contract
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_arbitrary_unicode(self, source):
+        try:
+            parse(source)
+        except AdnError:
+            pass
+
+    @given(st.text(alphabet=dsl_alphabet, max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_lexer_never_crashes(self, source):
+        try:
+            tokenize(source)
+        except AdnError:
+            pass
+
+    @given(st.text(alphabet=dsl_alphabet, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_accepted_input_round_trips(self, source):
+        """Anything the parser accepts must print and re-parse to the
+        same tree (printer totality over the parseable language)."""
+        try:
+            program = parse(source)
+        except AdnError:
+            return
+        printed = print_program(program)
+        reparsed = parse(printed)
+        assert reparsed.elements == program.elements
+        assert reparsed.filters == program.filters
+        assert reparsed.apps == program.apps

@@ -1,0 +1,136 @@
+"""Pretty-printer tests: round-trip through parse for every stdlib
+element and for randomized expressions (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import load_stdlib, parse
+from repro.dsl.ast_nodes import BinaryOp, ColumnRef, FuncCall, Literal, UnaryOp
+from repro.dsl.parser import Parser
+from repro.dsl.printer import (
+    print_app,
+    print_element,
+    print_expr,
+    print_filter,
+    print_program,
+)
+from repro.dsl.stdlib import STDLIB_SOURCES
+from repro.dsl.validator import validate_program
+
+
+class TestStdlibRoundTrip:
+    def test_every_element_round_trips(self):
+        program = parse("\n".join(STDLIB_SOURCES.values()))
+        for name, element in program.elements.items():
+            printed = print_element(element)
+            reparsed = parse(printed).elements[name]
+            assert reparsed == element, name
+
+    def test_filters_round_trip(self):
+        program = parse("\n".join(STDLIB_SOURCES.values()))
+        for name, filter_def in program.filters.items():
+            reparsed = parse(print_filter(filter_def)).filters[name]
+            assert reparsed == filter_def, name
+
+    def test_whole_program_round_trips(self):
+        source = "\n".join(STDLIB_SOURCES.values()) + (
+            """
+            app Shop {
+                service a;
+                service b replicas 3;
+                chain a -> b { Acl, Fault }
+                constrain Acl outside_app;
+                constrain Acl before Fault;
+                guarantee reliable ordered;
+            }
+            """
+        )
+        program = parse(source)
+        printed = print_program(program)
+        reparsed = parse(printed)
+        assert reparsed.elements == program.elements
+        assert reparsed.filters == program.filters
+        assert reparsed.apps == program.apps
+
+    def test_printed_source_still_validates(self):
+        program = parse("\n".join(STDLIB_SOURCES.values()))
+        printed = print_program(program)
+        validate_program(parse(printed))
+
+    def test_app_printing(self):
+        program = parse(
+            """
+            app P {
+                service x;
+                service y replicas 2;
+                chain x -> y { }
+                constrain x colocate sender;
+            }
+            """.replace("constrain x", "constrain Nothing")
+            .replace("chain x -> y { }", "chain x -> y { Nothing }")
+            .replace("app P {", "element Nothing { on request { SELECT * FROM input; } }\napp P {")
+        )
+        printed = print_app(program.apps["P"])
+        assert "service y replicas 2;" in printed
+        assert "colocate sender" in printed
+
+
+# -- randomized expression round-trips ---------------------------------------
+
+names = st.sampled_from(["a", "b", "payload", "obj_id"])
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 4 or draw(st.integers(0, 2)) == 0:
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return Literal(draw(st.integers(-100, 100)))
+        if choice == 1:
+            return Literal(draw(st.booleans()))
+        if choice == 2:
+            return ColumnRef("input", draw(names))
+        return ColumnRef(None, draw(names))
+    shape = draw(st.sampled_from(["binary", "unary", "call"]))
+    if shape == "binary":
+        op = draw(
+            st.sampled_from(
+                ["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
+                 "and", "or"]
+            )
+        )
+        return BinaryOp(
+            op,
+            draw(expressions(depth=depth + 1)),
+            draw(expressions(depth=depth + 1)),
+        )
+    if shape == "unary":
+        op = draw(st.sampled_from(["-", "not"]))
+        operand = draw(expressions(depth=depth + 1))
+        if (
+            op == "-"
+            and isinstance(operand, Literal)
+            and isinstance(operand.value, (int, float))
+            and not isinstance(operand.value, bool)
+        ):
+            # the parser folds numeric negation into the literal
+            return Literal(-operand.value)
+        return UnaryOp(op, operand)
+    return FuncCall(
+        draw(st.sampled_from(["hash", "len", "abs"])),
+        (draw(expressions(depth=depth + 1)),),
+    )
+
+
+class TestExpressionRoundTrip:
+    @given(expr=expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_print_identity(self, expr):
+        printed = print_expr(expr)
+        reparsed = Parser(printed).parse_expr()
+        assert reparsed == expr, printed
+
+    @given(expr=expressions())
+    @settings(max_examples=100, deadline=None)
+    def test_printing_is_deterministic(self, expr):
+        assert print_expr(expr) == print_expr(expr)

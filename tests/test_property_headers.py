@@ -1,0 +1,101 @@
+"""Property-based tests for header layout invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.headers import (
+    P4_PARSE_WINDOW_BYTES,
+    STR_FIXED_WIDTH,
+    build_layout,
+    relayout_for_switch,
+)
+from repro.dsl.schema import FieldType
+from repro.net.wire import AdnWireCodec
+
+names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+types = st.sampled_from(list(FieldType))
+
+
+@st.composite
+def field_maps(draw):
+    field_names = draw(names)
+    return {name: draw(types) for name in field_names}
+
+
+class TestLayoutProperties:
+    @given(fields=field_maps())
+    @settings(max_examples=100)
+    def test_layout_covers_all_fields_once(self, fields):
+        layout = build_layout(fields)
+        assert sorted(layout.field_names) == sorted(fields)
+        ids = [entry.field_id for entry in layout.fields]
+        assert len(set(ids)) == len(ids)
+
+    @given(fields=field_maps())
+    @settings(max_examples=100)
+    def test_fixed_fields_precede_variable(self, fields):
+        layout = build_layout(fields)
+        seen_variable = False
+        for entry in layout.fields:
+            if not entry.fixed:
+                seen_variable = True
+            else:
+                assert not seen_variable, "fixed field after variable"
+
+    @given(fields=field_maps())
+    @settings(max_examples=100)
+    def test_layout_is_order_independent(self, fields):
+        forward = build_layout(fields)
+        backward = build_layout(dict(reversed(list(fields.items()))))
+        assert forward == backward
+
+    @given(fields=field_maps())
+    @settings(max_examples=60)
+    def test_codec_roundtrip_of_zero_values(self, fields):
+        layout = build_layout(fields)
+        codec = AdnWireCodec(layout)
+        decoded = codec.decode(codec.encode({}))
+        assert set(decoded) == set(fields)
+
+    @given(fields=field_maps())
+    @settings(max_examples=100)
+    def test_switch_relayout_promotes_read_strings(self, fields):
+        str_fields = [n for n, t in fields.items() if t is FieldType.STR]
+        layout = build_layout(fields)
+        relaid = relayout_for_switch(layout, str_fields)
+        for name in str_fields:
+            assert relaid.field(name).fixed
+        # non-read variable fields stay variable
+        for name, field_type in fields.items():
+            if field_type is FieldType.BYTES:
+                assert not relaid.field(name).fixed
+
+    @given(fields=field_maps())
+    @settings(max_examples=60)
+    def test_relayout_preserves_field_set(self, fields):
+        layout = build_layout(fields)
+        relaid = relayout_for_switch(layout, list(fields))
+        assert sorted(relaid.field_names) == sorted(layout.field_names)
+
+    @given(
+        count=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=50)
+    def test_window_check_boundary(self, count):
+        """Exactly the fields whose (offset + width) fit the window pass
+        the offsets_within test."""
+        fields = {f"f{i:02d}": FieldType.INT for i in range(count)}
+        layout = build_layout(fields)
+        for entry in layout.fields:
+            fits = entry.offset + 8 <= P4_PARSE_WINDOW_BYTES
+            assert layout.offsets_within([entry.name], P4_PARSE_WINDOW_BYTES) == fits
+
+    def test_str_fixed_width_constant_sane(self):
+        assert 8 <= STR_FIXED_WIDTH <= 64

@@ -1,0 +1,162 @@
+"""Property-based tests for the simulator and the backend/interpreter
+equivalence on randomized RPCs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.backends.python_backend import PythonBackend
+from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+from repro.ir.interp import ElementInstance
+from repro.runtime.message import RpcOutcome
+from repro.sim import ClosedLoopClient, Resource, Simulator
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+PROGRAM = load_stdlib(schema=SCHEMA)
+
+#: deterministic elements whose request handlers accept arbitrary inputs
+DET_ELEMENTS = ["Acl", "LbKeyHash", "Metrics", "Router", "Encryption", "Cache"]
+
+
+class TestBackendEquivalenceRandomized:
+    @given(
+        name=st.sampled_from(DET_ELEMENTS),
+        username=st.text(max_size=12),
+        obj_id=st.integers(min_value=0, max_value=2**31),
+        payload=st.binary(max_size=128),
+        method=st.sampled_from(["get", "put", "admin"]),
+        kind=st.sampled_from(["request", "response"]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_generated_equals_interpreter(
+        self, name, username, obj_id, payload, method, kind
+    ):
+        registry = FunctionRegistry(rng=random.Random(0))
+        ir = build_element_ir(PROGRAM.elements[name])
+        analyze_element(ir, registry)
+        artifact = PythonBackend(registry).emit(ir)
+        generated = artifact.factory()
+        reference = ElementInstance(ir, registry)
+        for instance in (generated, reference):
+            if "endpoints" in instance.state.tables:
+                instance.state.table("endpoints").insert_values([0, "B.1"])
+                instance.state.table("endpoints").insert_values([1, "B.2"])
+        rpc = {
+            "src": "A.0",
+            "dst": "B",
+            "rpc_id": 1,
+            "method": method,
+            "kind": kind,
+            "status": "ok",
+            "payload": payload,
+            "username": username,
+            "obj_id": obj_id,
+        }
+        generated_out = generated.process(dict(rpc), kind)
+        reference_out = [
+            {k: v for k, v in row.items() if isinstance(k, str)}
+            for row in reference.process(dict(rpc), kind)
+        ]
+        assert generated_out == reference_out
+
+
+class TestSimulatorInvariants:
+    @given(
+        concurrency=st.integers(min_value=1, max_value=32),
+        service_us=st.integers(min_value=1, max_value=200),
+        multiplier=st.integers(min_value=10, max_value=25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_littles_law_closed_loop(self, concurrency, service_us, multiplier):
+        # enough work per worker that end effects don't dominate
+        total = concurrency * multiplier
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def call(**fields):
+            issued = sim.now
+            yield from resource.use(service_us * 1e-6)
+            return RpcOutcome(
+                request={}, response={}, issued_at=issued, completed_at=sim.now
+            )
+
+        client = ClosedLoopClient(
+            sim, call, concurrency=concurrency, total_rpcs=total
+        )
+        metrics = client.run()
+        assert metrics.completed == total
+        # N = X * R within tolerance (end effects for short runs)
+        assert metrics.check_littles_law(concurrency, tolerance=0.35)
+
+    @given(
+        concurrency=st.integers(min_value=1, max_value=16),
+        service_us=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_busy_time_bounded_by_elapsed(self, concurrency, service_us):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+
+        def call(**fields):
+            issued = sim.now
+            yield from resource.use(service_us * 1e-6)
+            return RpcOutcome(
+                request={}, response={}, issued_at=issued, completed_at=sim.now
+            )
+
+        client = ClosedLoopClient(
+            sim, call, concurrency=concurrency, total_rpcs=60
+        )
+        client.run()
+        assert resource.busy_time <= sim.now * resource.capacity + 1e-12
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def waiter(delay):
+            yield sim.timeout(delay)
+            fired.append(sim.now)
+
+        for delay in delays:
+            sim.process(waiter(delay))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        service_times=st.lists(
+            st.floats(min_value=1e-6, max_value=1e-3, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fcfs_resource_conserves_work(self, service_times):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        done = []
+
+        def job(duration):
+            yield from resource.use(duration)
+            done.append(sim.now)
+
+        for duration in service_times:
+            sim.process(job(duration))
+        sim.run()
+        assert len(done) == len(service_times)
+        assert sim.now >= sum(service_times) - 1e-12
+        assert abs(resource.busy_time - sum(service_times)) < 1e-9

@@ -1,0 +1,230 @@
+"""eBPF / P4 / WASM backend tests: legality matrices and generated
+source structure."""
+
+import pytest
+
+from repro.compiler.backends import EbpfBackend, P4Backend, WasmBackend
+from repro.dsl import DEFAULT_REGISTRY, FieldType, RpcSchema, load_stdlib
+from repro.dsl.parser import parse_element
+from repro.dsl.validator import validate_element
+from repro.errors import BackendError
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return load_stdlib(schema=SCHEMA)
+
+
+def ir_of(program, name):
+    ir = build_element_ir(program.elements[name])
+    analyze_element(ir, DEFAULT_REGISTRY)
+    return ir
+
+
+def custom_ir(source):
+    ir = build_element_ir(validate_element(parse_element(source)))
+    analyze_element(ir, DEFAULT_REGISTRY)
+    return ir
+
+
+@pytest.fixture(scope="module")
+def ebpf():
+    return EbpfBackend(DEFAULT_REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def p4():
+    return P4Backend(DEFAULT_REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def wasm():
+    return WasmBackend(DEFAULT_REGISTRY)
+
+
+class TestEbpfLegality:
+    def test_acl_legal(self, program, ebpf):
+        assert ebpf.check(ir_of(program, "Acl")).legal
+
+    def test_fault_legal_with_fixed_point_note(self, program, ebpf):
+        report = ebpf.check(ir_of(program, "Fault"))
+        assert report.legal
+        assert any("fixed point" in note for note in report.notes)
+
+    def test_logging_legal_via_ringbuf(self, program, ebpf):
+        report = ebpf.check(ir_of(program, "Logging"))
+        assert report.legal
+        assert any("ring buffer" in note for note in report.notes)
+
+    def test_compression_rejected(self, program, ebpf):
+        report = ebpf.check(ir_of(program, "Compression"))
+        assert not report.legal
+        assert any("payload UDF" in v for v in report.violations)
+
+    def test_unbounded_join_rejected(self, ebpf):
+        ir = custom_ir(
+            """
+            element E {
+                state t (k: int, v: str);
+                on request {
+                    SELECT input.* FROM input JOIN t ON t.k == input.x;
+                }
+            }
+            """
+        )
+        report = ebpf.check(ir)
+        assert not report.legal
+        assert any("unbounded loop" in v for v in report.violations)
+
+    def test_unkeyed_bag_rejected(self, ebpf):
+        ir = custom_ir(
+            """
+            element E {
+                state t (v: int);
+                on request {
+                    INSERT INTO t SELECT input.x FROM input;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        report = ebpf.check(ir)
+        assert any("keyed map" in v for v in report.violations)
+
+    def test_table_scan_update_rejected(self, ebpf):
+        ir = custom_ir(
+            """
+            element E {
+                state t (k: int KEY, n: int);
+                on request {
+                    UPDATE t SET n = n + 1 WHERE n > 0;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        report = ebpf.check(ir)
+        assert any("scans the table" in v for v in report.violations)
+
+    def test_emit_rejects_illegal(self, program, ebpf):
+        with pytest.raises(BackendError):
+            ebpf.emit(ir_of(program, "Compression"))
+
+
+class TestEbpfSource:
+    def test_acl_source_structure(self, program, ebpf):
+        source = ebpf.emit(ir_of(program, "Acl")).source
+        assert "ADN_HASH_MAP(ac_tab" in source
+        assert 'SEC("adn/Acl/request")' in source
+        assert "return ADN_DROP;" in source
+        assert "bpf_map_lookup_elem" in source
+
+    def test_logging_source_has_ringbuf(self, program, ebpf):
+        source = ebpf.emit(ir_of(program, "Logging")).source
+        assert "ADN_RINGBUF(log_tab" in source
+
+    def test_rate_limit_globals(self, program, ebpf):
+        source = ebpf.emit(ir_of(program, "RateLimit")).source
+        assert "ADN_GLOBAL" in source
+        assert "tokens" in source
+
+
+class TestP4Legality:
+    def test_acl_legal(self, program, p4):
+        assert p4.check(ir_of(program, "Acl")).legal
+
+    def test_lb_legal(self, program, p4):
+        assert p4.check(ir_of(program, "LbKeyHash")).legal
+
+    def test_logging_rejected(self, program, p4):
+        report = p4.check(ir_of(program, "Logging"))
+        assert not report.legal
+
+    def test_compression_rejected(self, program, p4):
+        report = p4.check(ir_of(program, "Compression"))
+        assert any("parse window" in v for v in report.violations)
+
+    def test_mirror_rejected_no_clone(self, program, p4):
+        report = p4.check(ir_of(program, "Mirror"))
+        assert any("clone" in v for v in report.violations)
+
+    def test_metrics_insert_rejected(self, program, p4):
+        report = p4.check(ir_of(program, "Metrics"))
+        assert any("control-plane only" in v for v in report.violations)
+
+    def test_counter_bump_allowed(self, p4):
+        ir = custom_ir(
+            """
+            element E {
+                state t (k: str KEY, n: int);
+                on request {
+                    UPDATE t SET n = n + 1 WHERE k == input.m;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        assert p4.check(ir).legal
+
+    def test_non_counter_update_rejected(self, p4):
+        ir = custom_ir(
+            """
+            element E {
+                state t (k: str KEY, n: int);
+                on request {
+                    UPDATE t SET n = 0 WHERE k == input.m;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        report = p4.check(ir)
+        assert any("register-style" in v for v in report.violations)
+
+    def test_string_ordering_rejected(self, p4):
+        ir = custom_ir(
+            "element E { on request { SELECT * FROM input WHERE input.u > 'm'; } }"
+        )
+        report = p4.check(ir)
+        assert any("ordering" in v for v in report.violations)
+
+
+class TestP4Source:
+    def test_acl_source_structure(self, program, p4):
+        source = p4.emit(ir_of(program, "Acl")).source
+        assert "#include <v1model.p4>" in source
+        assert "table ac_tab_t" in source
+        assert "hdr.adn.username: exact;" in source
+        assert "mark_to_drop" in source
+
+    def test_lb_source_rewrites_dst(self, program, p4):
+        source = p4.emit(ir_of(program, "LbKeyHash")).source
+        assert "hdr.adn.dst" in source
+
+
+class TestWasm:
+    def test_everything_legal(self, program, wasm):
+        for name in program.elements:
+            assert wasm.check(ir_of(program, name)).legal, name
+
+    def test_sandbox_note(self, program, wasm):
+        report = wasm.check(ir_of(program, "Acl"))
+        assert any("sandbox" in note for note in report.notes)
+
+    def test_source_structure(self, program, wasm):
+        source = wasm.emit(ir_of(program, "Acl")).source
+        assert "proxy_wasm" in source
+        assert "on_http_request_headers" in source
+        assert "on_http_response_headers" in source
+
+    def test_request_only_element(self, wasm):
+        ir = custom_ir("element E { on request { SELECT * FROM input; } }")
+        source = wasm.emit(ir).source
+        assert "on_http_request_headers" in source
+        assert "on_http_response_headers" not in source

@@ -1,0 +1,233 @@
+"""Live migration and autoscaling tests (paper §5.2 / Q3)."""
+
+import pytest
+
+from repro.control.scaling import Autoscaler, AutoscalerConfig
+from repro.dsl.ast_nodes import ColumnDef, StateDecl
+from repro.dsl.schema import FieldType
+from repro.errors import StateError
+from repro.sim import Resource, Simulator
+from repro.state.migration import MigrationTiming, Migrator
+from repro.state.table import StateTable
+
+
+def keyed_decl(name="t"):
+    return StateDecl(
+        name=name,
+        columns=(
+            ColumnDef("k", FieldType.INT, is_key=True),
+            ColumnDef("v", FieldType.STR),
+        ),
+    )
+
+
+def filled_table(rows=100):
+    table = StateTable(keyed_decl())
+    for i in range(rows):
+        table.insert({"k": i, "v": f"value-{i}"})
+    return table
+
+
+class TestMigrator:
+    def test_migrate_copies_everything(self):
+        sim = Simulator()
+        source = filled_table(200)
+        target = StateTable(keyed_decl())
+        migrator = Migrator(sim)
+        report = sim.run_until_complete(
+            sim.process(migrator.migrate(source, target))
+        )
+        assert report.rows_copied == 200
+        assert target.snapshot() == source.snapshot()
+
+    def test_concurrent_writes_replayed(self):
+        """Writes that land during the warm copy arrive via the delta
+        log — the core of disruption-free migration."""
+        sim = Simulator()
+        source = filled_table(1000)
+        target = StateTable(keyed_decl())
+        migrator = Migrator(sim)
+
+        def writer():
+            # land a write mid-copy (copy takes 1000*0.5us = 500us)
+            yield sim.timeout(100e-6)
+            source.insert({"k": 5000, "v": "late-write"})
+
+        sim.process(writer())
+        report = sim.run_until_complete(
+            sim.process(migrator.migrate(source, target))
+        )
+        assert report.deltas_replayed == 1
+        assert target.get(5000)["v"] == "late-write"
+
+    def test_pause_is_proportional_to_deltas_not_size(self):
+        sim = Simulator()
+        migrator = Migrator(sim)
+        big_quiet = filled_table(5000)
+        target = StateTable(keyed_decl())
+        report = sim.run_until_complete(
+            sim.process(migrator.migrate(big_quiet, target))
+        )
+        # no concurrent writes: pause is just the fixed flip cost
+        assert report.pause_s == pytest.approx(
+            migrator.timing.flip_fixed_us * 1e-6, rel=0.01
+        )
+        assert report.warm_copy_s > report.pause_s
+
+    def test_pause_resume_hooks(self):
+        sim = Simulator()
+        events = []
+        migrator = Migrator(
+            sim,
+            pause_hook=lambda: events.append(("pause", sim.now)),
+            resume_hook=lambda: events.append(("resume", sim.now)),
+        )
+        source = filled_table(10)
+        target = StateTable(keyed_decl())
+        sim.run_until_complete(sim.process(migrator.migrate(source, target)))
+        assert [e[0] for e in events] == ["pause", "resume"]
+        assert events[1][1] > events[0][1]
+
+    def test_name_mismatch_rejected(self):
+        sim = Simulator()
+        migrator = Migrator(sim)
+        source = filled_table(1)
+        target = StateTable(keyed_decl(name="other"))
+        with pytest.raises(StateError):
+            sim.run_until_complete(
+                sim.process(migrator.migrate(source, target))
+            )
+
+    def test_scale_out_partitions(self):
+        sim = Simulator()
+        migrator = Migrator(sim)
+        source = filled_table(300)
+        parts, report = sim.run_until_complete(
+            sim.process(migrator.scale_out(source, 3))
+        )
+        assert len(parts) == 3
+        assert sum(len(p) for p in parts) == 300
+        assert report.rows_copied == 300
+        assert len(source) == 0  # rows moved, not copied
+
+    def test_scale_out_needs_two_ways(self):
+        sim = Simulator()
+        migrator = Migrator(sim)
+        with pytest.raises(StateError):
+            sim.run_until_complete(
+                sim.process(migrator.scale_out(filled_table(1), 1))
+            )
+
+    def test_scale_in_merges(self):
+        sim = Simulator()
+        migrator = Migrator(sim)
+        source = filled_table(90)
+        parts = source.split(3)
+        merged, report = sim.run_until_complete(
+            sim.process(migrator.scale_in(keyed_decl(), parts))
+        )
+        assert len(merged) == 90
+        assert report.pause_s > 0
+
+    def test_custom_timing(self):
+        sim = Simulator()
+        slow = MigrationTiming(per_row_copy_us=100.0)
+        migrator = Migrator(sim, timing=slow)
+        source = filled_table(100)
+        target = StateTable(keyed_decl())
+        report = sim.run_until_complete(
+            sim.process(migrator.migrate(source, target))
+        )
+        assert report.warm_copy_s == pytest.approx(100 * 100e-6)
+
+
+class TestAutoscaler:
+    def _drive_load(self, sim, resource, rate_rps, service_us, duration_s):
+        """Poisson-ish open-loop load against a resource."""
+        import random
+
+        rng = random.Random(4)
+
+        def arrivals():
+            deadline = sim.now + duration_s
+            while sim.now < deadline:
+                yield sim.timeout(rng.expovariate(rate_rps))
+                sim.process(one())
+
+        def one():
+            yield from resource.use(service_us * 1e-6)
+
+        sim.process(arrivals())
+
+    def test_scale_out_under_load(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, name="engine")
+        # offered load ~2x capacity: 100k rps * 20us = 2.0 utilization
+        self._drive_load(sim, resource, 10_000, 200, duration_s=1.0)
+        autoscaler = Autoscaler(
+            sim,
+            resource,
+            AutoscalerConfig(sample_interval_s=0.05, cooldown_s=0.1),
+        )
+        sim.process(autoscaler.run(1.0))
+        sim.run()
+        assert autoscaler.scale_out_count >= 1
+        assert resource.capacity >= 2
+
+    def test_scale_in_when_idle(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=4, name="engine")
+        self._drive_load(sim, resource, 500, 20, duration_s=1.0)
+        autoscaler = Autoscaler(
+            sim,
+            resource,
+            AutoscalerConfig(sample_interval_s=0.05, cooldown_s=0.1),
+        )
+        sim.process(autoscaler.run(1.0))
+        sim.run()
+        assert autoscaler.scale_in_count >= 1
+        assert resource.capacity < 4
+
+    def test_capacity_bounds_respected(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, name="engine")
+        self._drive_load(sim, resource, 20_000, 500, duration_s=1.0)
+        config = AutoscalerConfig(
+            sample_interval_s=0.02, cooldown_s=0.02, max_capacity=3
+        )
+        autoscaler = Autoscaler(sim, resource, config)
+        sim.process(autoscaler.run(1.0))
+        sim.run()
+        assert resource.capacity <= 3
+
+    def test_stateful_scaling_migrates(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, name="engine")
+        table = filled_table(500)
+        self._drive_load(sim, resource, 10_000, 200, duration_s=1.0)
+        autoscaler = Autoscaler(
+            sim,
+            resource,
+            AutoscalerConfig(sample_interval_s=0.05, cooldown_s=0.2),
+            stateful_tables=[table],
+        )
+        sim.process(autoscaler.run(1.0))
+        sim.run()
+        assert autoscaler.scale_out_count >= 1
+        event = autoscaler.events[0]
+        assert event.migration is not None
+        assert event.migration.rows_copied == 500
+        assert len(table) == 500  # no rows lost
+
+    def test_events_carry_utilization(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1, name="engine")
+        self._drive_load(sim, resource, 20_000, 300, duration_s=0.6)
+        autoscaler = Autoscaler(
+            sim, resource, AutoscalerConfig(sample_interval_s=0.05)
+        )
+        sim.process(autoscaler.run(0.6))
+        sim.run()
+        for event in autoscaler.events:
+            assert 0.0 <= event.utilization
+            assert event.capacity_after != event.capacity_before

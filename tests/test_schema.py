@@ -1,0 +1,74 @@
+"""Schema and field-type unit tests."""
+
+import pytest
+
+from repro.dsl.schema import META_FIELDS, FieldType, RpcSchema
+from repro.errors import DslValidationError
+
+
+class TestFieldType:
+    def test_from_keyword(self):
+        assert FieldType.from_keyword("STR") is FieldType.STR
+        assert FieldType.from_keyword("bytes") is FieldType.BYTES
+
+    def test_from_keyword_unknown(self):
+        with pytest.raises(DslValidationError):
+            FieldType.from_keyword("blob")
+
+    def test_accepts_exact(self):
+        assert FieldType.STR.accepts("x")
+        assert FieldType.BYTES.accepts(b"x")
+        assert FieldType.BOOL.accepts(True)
+
+    def test_float_accepts_int(self):
+        assert FieldType.FLOAT.accepts(3)
+        assert FieldType.FLOAT.accepts(3.5)
+
+    def test_bool_is_not_int(self):
+        assert not FieldType.INT.accepts(True)
+        assert not FieldType.FLOAT.accepts(False)
+
+    def test_none_always_accepted(self):
+        assert FieldType.INT.accepts(None)
+
+    def test_rejects_wrong_type(self):
+        assert not FieldType.INT.accepts("3")
+        assert not FieldType.BYTES.accepts("text")
+
+
+class TestRpcSchema:
+    def test_of_constructor(self):
+        schema = RpcSchema.of("kv", key=FieldType.INT, value=FieldType.BYTES)
+        assert schema.application_field_names() == ("key", "value")
+
+    def test_duplicate_field_rejected(self):
+        schema = RpcSchema.of("s", a=FieldType.INT)
+        with pytest.raises(DslValidationError, match="duplicate"):
+            schema.add("a", FieldType.STR)
+
+    def test_meta_collision_rejected(self):
+        schema = RpcSchema("s")
+        with pytest.raises(DslValidationError, match="meta-field"):
+            schema.add("dst", FieldType.STR)
+
+    def test_field_type_lookup_includes_meta(self):
+        schema = RpcSchema.of("s", a=FieldType.INT)
+        assert schema.field_type("a") is FieldType.INT
+        assert schema.field_type("rpc_id") is FieldType.INT
+        assert schema.field_type("ghost") is None
+
+    def test_all_fields_merges_meta(self):
+        schema = RpcSchema.of("s", a=FieldType.INT)
+        merged = schema.all_fields()
+        assert set(META_FIELDS) <= set(merged)
+        assert merged["a"] is FieldType.INT
+
+    def test_validate_message_fields(self):
+        schema = RpcSchema.of("s", n=FieldType.INT)
+        schema.validate_message_fields([("n", 3)])
+        with pytest.raises(DslValidationError, match="expects int"):
+            schema.validate_message_fields([("n", "three")])
+
+    def test_validate_ignores_unknown_fields(self):
+        schema = RpcSchema.of("s", n=FieldType.INT)
+        schema.validate_message_fields([("extra", object())])
