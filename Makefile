@@ -2,13 +2,20 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples check-all loc
+.PHONY: install test bench examples check-all lint loc
 
 install:
 	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@# a bare `del name` of a never-reused local is dead code we have
+	@# been bitten by before; keep the tree free of it
+	@! grep -rn --include='*.py' -E '^\s*del [a-z_]+$$' src/ \
+	    || (echo 'dead `del` statements found in src/' && exit 1)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s

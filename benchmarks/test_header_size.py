@@ -126,6 +126,43 @@ def test_wrapped_stack_buries_fields_beyond_window(header_numbers, benchmark):
     bench_assert(benchmark, check)
 
 
+def test_dead_field_pass_shrinks_or_holds_headers(benchmark):
+    def check():
+        """The dead_fields IR pass removes write-only projections before
+        header planning, so every hop's field set can only shrink or hold
+        relative to compiling with the pass disabled."""
+        from repro.compiler.compiler import AdnCompiler
+        from repro.dsl import FunctionRegistry, load_stdlib
+        from repro.dsl.ast_nodes import ChainDecl
+        from repro.ir.optimizer import OptimizerOptions
+
+        def hop_plan(dead_fields):
+            registry = FunctionRegistry()
+            program = load_stdlib(schema=SCHEMA)
+            compiler = AdnCompiler(
+                registry=registry,
+                options=OptimizerOptions(dead_fields=dead_fields),
+            )
+            chain = compiler.compile_chain(
+                ChainDecl(src="A", dst="B", elements=SECTION2),
+                program,
+                SCHEMA,
+            )
+            return plan_hop_headers(chain.ir, SCHEMA, hop_after=[0])[0]
+
+        with_pass = hop_plan(True)
+        without = hop_plan(False)
+        assert set(with_pass.layout.field_names) <= set(
+            without.layout.field_names
+        )
+        assert with_pass.needed_fields <= without.needed_fields
+        return sorted(
+            set(without.layout.field_names) - set(with_pass.layout.field_names)
+        )
+
+    bench_assert(benchmark, check)
+
+
 def test_headers_shrink_when_fields_unused(benchmark):
     def check():
         """Drop the ACL from the chain and the username field leaves the

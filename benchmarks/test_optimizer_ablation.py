@@ -1,6 +1,6 @@
-"""Ablation of the compiler optimizations (§5.2): early-drop reordering
-and parallelization grouping, plus element-level constant folding and
-predicate pushdown.
+"""Ablation of the compiler's six IR passes (§5.2): constant folding,
+predicate pushdown, early-drop reordering, dead-field elimination,
+cross-element fusion, and parallelization grouping.
 
 The paper claims these rewrites are available *because* the DSL exposes
 element semantics; this bench quantifies each on a drop-heavy chain
@@ -27,6 +27,7 @@ VARIANTS = {
     "all optimizations": OptimizerOptions(),
     "no reorder": OptimizerOptions(reorder=False),
     "no parallelize": OptimizerOptions(parallelize=False),
+    "no dead fields": OptimizerOptions(dead_fields=False),
     "no folding/pushdown": OptimizerOptions(
         constant_folding=False, predicate_pushdown=False
     ),
@@ -35,11 +36,12 @@ VARIANTS = {
         predicate_pushdown=False,
         reorder=False,
         parallelize=False,
+        dead_fields=False,
     ),
 }
 
 
-def run_variant(options, fuse=False) -> dict:
+def run_variant(options) -> dict:
     reset_rpc_ids()
     registry = FunctionRegistry()
     program = load_stdlib(schema=SCHEMA)
@@ -48,14 +50,7 @@ def run_variant(options, fuse=False) -> dict:
     chain = compiler.compile_chain(decl, program, SCHEMA)
     sim = Simulator()
     cluster = two_machine_cluster(sim)
-    plan = None
-    if fuse:
-        from repro.control import PlacementRequest, solve_placement
-
-        plan = solve_placement(
-            PlacementRequest(chain=chain, schema=SCHEMA, fuse_segments=True)
-        )
-    stack = AdnMrpcStack(sim, cluster, chain, SCHEMA, registry, plan=plan)
+    stack = AdnMrpcStack(sim, cluster, chain, SCHEMA, registry)
 
     def fields(rng, index):
         return {
@@ -87,8 +82,9 @@ def ablation():
     results = {
         label: run_variant(options) for label, options in VARIANTS.items()
     }
-    # cross-element fusion (paper Q2) stacks on top of the other passes
-    results["all + fusion"] = run_variant(OptimizerOptions(), fuse=True)
+    # cross-element fusion (paper Q2, opt-in) stacks on the other passes:
+    # the fuse_elements IR pass merges the chain into one element
+    results["all + fusion"] = run_variant(OptimizerOptions(fusion=True))
     return results
 
 
@@ -155,9 +151,23 @@ def test_unoptimized_still_correct(ablation, benchmark):
 
 def test_fusion_saves_dispatch(ablation, benchmark):
     def check():
-        fused = ablation["all + fusion"]["cpu_us_per_rpc"]
-        unfused = ablation["all optimizations"]["cpu_us_per_rpc"]
-        assert fused < unfused
-        return unfused - fused
+        fused = ablation["all + fusion"]
+        unfused = ablation["all optimizations"]
+        # one element -> one dispatch, and never slower end-to-end
+        assert len(fused["order"]) == 1
+        assert fused["cpu_us_per_rpc"] < unfused["cpu_us_per_rpc"]
+        assert fused["rate_krps"] >= unfused["rate_krps"]
+        return unfused["cpu_us_per_rpc"] - fused["cpu_us_per_rpc"]
+
+    bench_assert(benchmark, check)
+
+
+def test_dead_fields_never_hurt(ablation, benchmark):
+    def check():
+        with_pass = ablation["all optimizations"]["cpu_us_per_rpc"]
+        without = ablation["no dead fields"]["cpu_us_per_rpc"]
+        # dead-field elimination only removes work; cost must not rise
+        assert with_pass <= without * 1.01, (with_pass, without)
+        return without - with_pass
 
     bench_assert(benchmark, check)

@@ -123,8 +123,7 @@ class GrpcStack:
         encoded = self.encode(request)
         yield from self._wire(encoded)
         # server: kernel recv + deserialize + handle
-        headers, app_fields = self.decode(encoded)
-        del headers
+        _headers, app_fields = self.decode(encoded)
         yield from self.server_app.use(
             (self._recv_cpu_us(request) + self.costs.app_logic_us) * US
         )

@@ -107,6 +107,8 @@ def cmd_compile(args) -> int:
     schema = _schema_from_args(args.field)
     program = _load(args.file, schema)
     own = parse(open(args.file).read())
+    if args.explain:
+        return _explain(program, own, schema)
     compiler = AdnCompiler(registry=FunctionRegistry())
     targets = list(own.elements) or list(program.elements)
     if args.element:
@@ -128,6 +130,46 @@ def cmd_compile(args) -> int:
                     print(f"  {backend:7s} OK   ({loc} generated lines)")
                 else:
                     print(f"  {backend:7s} NO   {report.violations[0]}")
+    return 0
+
+
+def _explain(program, own, schema) -> int:
+    """``compile --explain``: run the full optimization pipeline (all
+    passes on, including opt-in fusion) and print each chain's per-pass
+    report plus the compiler's artifact-cache statistics."""
+    from .ir.optimizer import OptimizerOptions
+    from .ir.passmgr import format_report_table
+
+    compiler = AdnCompiler(
+        registry=FunctionRegistry(), options=OptimizerOptions(fusion=True)
+    )
+    chains = []
+    apps = list(own.apps)
+    if apps:
+        for app_name in apps:
+            chains.extend(compiler.compile_app(program, app_name, schema).chains)
+    else:
+        # no app in the file: explain each element as a one-element chain
+        targets = list(own.elements) or list(program.elements)
+        for name in targets:
+            chains.append(
+                compiler.compile_chain(
+                    ChainDecl(src="A", dst="B", elements=(name,)),
+                    program,
+                    schema,
+                )
+            )
+    for chain in chains:
+        print(f"chain {chain.decl.src} -> {chain.decl.dst}:")
+        print(f"  input : {' -> '.join(chain.decl.elements)}")
+        print(f"  output: {' -> '.join(chain.element_order)}")
+        print(format_report_table(chain.ir.pass_reports))
+        print()
+    stats = compiler.cache_stats
+    print(
+        f"artifact cache: {stats.hits} hits, {stats.misses} misses "
+        f"({stats.lookups} lookups)"
+    )
     return 0
 
 
@@ -255,6 +297,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_.add_argument(
         "--emit", choices=["python", "ebpf", "p4", "wasm"],
         help="print generated source for this backend",
+    )
+    compile_.add_argument(
+        "--explain", action="store_true",
+        help="run the full pass pipeline (incl. fusion) and print the "
+        "per-pass report for each chain",
     )
     add_fields(compile_)
     compile_.set_defaults(func=cmd_compile)

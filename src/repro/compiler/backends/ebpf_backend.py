@@ -90,6 +90,12 @@ class EbpfBackend(Backend):
         if analysis is None:
             report.violations.append("element not analyzed")
             return report
+        if "fused_from" in element.meta:
+            report.violations.append(
+                "fused element: kernel programs stay per-element (tail "
+                "calls chain them); compile the members individually"
+            )
+            return report
         for func_name in sorted(
             {f for h in analysis.handlers.values() for f in h.functions}
         ):

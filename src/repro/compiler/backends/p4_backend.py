@@ -81,6 +81,12 @@ class P4Backend(Backend):
         if analysis is None:
             report.violations.append("element not analyzed")
             return report
+        if "fused_from" in element.meta:
+            report.violations.append(
+                "fused element: a switch stage hosts one match-action "
+                "element; compile the members individually"
+            )
+            return report
         for func_name in sorted(
             {f for h in analysis.handlers.values() for f in h.functions}
         ):

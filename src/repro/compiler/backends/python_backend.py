@@ -31,6 +31,7 @@ from ...dsl.ast_nodes import (
 )
 from ...errors import BackendError
 from ...ir.nodes import (
+    AdvanceInput,
     AssignVar,
     DeleteRows,
     ElementIR,
@@ -213,6 +214,12 @@ class PythonBackend(Backend):
                 writer.line("self.tables = tables")
                 writer.line("self.vars = vars")
             self._generate_init(element, writer)
+            fused = any(
+                isinstance(op, AdvanceInput)
+                for handler in element.handlers.values()
+                for stmt in handler.statements
+                for op in stmt.ops
+            )
             for kind in ("request", "response"):
                 handler = element.handlers.get(kind)
                 writer.line(f"def on_{kind}(self, row):")
@@ -220,6 +227,11 @@ class PythonBackend(Backend):
                     writer.line("_tables = self.tables")
                     writer.line("_vars = self.vars")
                     writer.line("_emitted = []")
+                    if fused:
+                        # members completed so far; the runtime reads it
+                        # to attribute an internal drop (turnaround runs
+                        # iff some member already executed)
+                        writer.line("self.fused_progress = 0")
                     if handler is None:
                         writer.line("_emitted.append(dict(row))")
                     else:
@@ -271,6 +283,15 @@ class PythonBackend(Backend):
 
     def _generate_statement(self, stmt: StatementIR, writer: "_Writer") -> None:
         ops = list(stmt.ops)
+        if len(ops) == 1 and isinstance(ops[0], AdvanceInput):
+            # fusion seam: the previous member's output becomes the input
+            writer.line(f"# advance past {ops[0].source}")
+            writer.line("if not _emitted:")
+            writer.line("    return []")
+            writer.line("row = _emitted[0]")
+            writer.line("_emitted = []")
+            writer.line("self.fused_progress += 1")
+            return
         if ops and isinstance(ops[0], Scan):
             self._generate_pipeline(ops, writer)
             return

@@ -10,6 +10,7 @@ elements using the legality matrix and resource availability
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -89,9 +90,23 @@ class CompiledApp:
         raise KeyError(f"no chain {src} -> {dst}")
 
 
+@dataclass
+class ArtifactCacheStats:
+    """Hit/miss counters for the compiler's artifact cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
 class AdnCompiler:
-    """Compiles validated programs. Reusable across apps; holds backends
-    and optimization options."""
+    """Compiles validated programs. Reusable across apps; holds backends,
+    optimization options, and an artifact cache keyed by (IR structural
+    hash, backend) so unchanged elements aren't re-checked or re-emitted
+    on recompiles and hot updates."""
 
     def __init__(
         self,
@@ -101,6 +116,10 @@ class AdnCompiler:
         self.registry = registry or DEFAULT_REGISTRY
         self.options = options or OptimizerOptions()
         self.backends: Dict[str, Backend] = make_backends(self.registry)
+        self._artifact_cache: Dict[
+            Tuple[str, str], Tuple[LegalityReport, Optional[CompiledArtifact]]
+        ] = {}
+        self.cache_stats = ArtifactCacheStats()
 
     # -- element ----------------------------------------------------------
 
@@ -110,12 +129,28 @@ class AdnCompiler:
         """Lower, analyze, and emit one element for every legal backend."""
         ir = build_element_ir(element)
         analyze_element(ir, self.registry)
-        compiled = CompiledElement(name=element.name, ir=ir, dsl_loc=dsl_loc)
+        return self._compile_ir(ir, dsl_loc)
+
+    def _compile_ir(self, ir: ElementIR, dsl_loc: int = 0) -> CompiledElement:
+        """Check and emit one analyzed ElementIR for every backend —
+        the single emit loop behind both element and chain compilation,
+        fronted by the artifact cache."""
+        digest = _ir_digest(ir)
+        compiled = CompiledElement(name=ir.name, ir=ir, dsl_loc=dsl_loc)
         for backend_name, backend in self.backends.items():
-            report = backend.check(ir)
+            key = (digest, backend_name)
+            cached = self._artifact_cache.get(key)
+            if cached is not None:
+                self.cache_stats.hits += 1
+                report, artifact = cached
+            else:
+                self.cache_stats.misses += 1
+                report = backend.check(ir)
+                artifact = backend.emit(ir) if report.legal else None
+                self._artifact_cache[key] = (report, artifact)
             compiled.legality[backend_name] = report
-            if report.legal:
-                compiled.artifacts[backend_name] = backend.emit(ir)
+            if artifact is not None:
+                compiled.artifacts[backend_name] = artifact
         return compiled
 
     # -- chain --------------------------------------------------------------
@@ -130,6 +165,7 @@ class AdnCompiler:
         """Optimize and compile one chain of a validated program."""
         element_irs: List[ElementIR] = []
         filters: Dict[str, FilterDef] = {}
+        loc_by_name: Dict[str, int] = {}
         for name in decl.elements:
             if name in program.filters:
                 filters[name] = program.filters[name]
@@ -137,24 +173,25 @@ class AdnCompiler:
             if name not in program.elements:
                 raise CompileError(f"chain references unknown element {name!r}")
             element_irs.append(build_element_ir(program.elements[name]))
+            loc_by_name[name] = _element_loc(program.elements[name])
         context = ChainContext(
             app=app_name,
             src=decl.src,
             dst=decl.dst,
             pinned_pairs=self._pinned_pairs(program, app_name, decl),
             registry=self.registry,
+            schema=schema,
         )
         chain_ir = optimize_chain(element_irs, context, self.options)
         compiled_elements: Dict[str, CompiledElement] = {}
         for element_ir in chain_ir.elements:
-            # re-emit from the optimized IR so artifacts reflect passes
-            compiled = CompiledElement(name=element_ir.name, ir=element_ir)
-            for backend_name, backend in self.backends.items():
-                report = backend.check(element_ir)
-                compiled.legality[backend_name] = report
-                if report.legal:
-                    compiled.artifacts[backend_name] = backend.emit(element_ir)
-            compiled_elements[element_ir.name] = compiled
+            # re-emit from the optimized IR so artifacts reflect passes;
+            # a fused element accounts for all its members' DSL lines
+            members = element_ir.meta.get("fused_from", (element_ir.name,))
+            dsl_loc = sum(loc_by_name.get(member, 0) for member in members)
+            compiled_elements[element_ir.name] = self._compile_ir(
+                element_ir, dsl_loc
+            )
         return CompiledChain(
             decl=decl,
             ir=chain_ir,
@@ -217,6 +254,35 @@ class AdnCompiler:
                 )
             app_name = next(iter(program.apps))
         return self.compile_app(program, app_name, schema)
+
+
+def _ir_digest(ir: ElementIR) -> str:
+    """Structural hash of an ElementIR (analysis excluded) — the artifact
+    cache key. Every IR node is a frozen dataclass, so repr is a faithful
+    structural encoding."""
+    parts = (
+        ir.name,
+        tuple(sorted((key, repr(value)) for key, value in ir.meta.items())),
+        ir.states,
+        ir.vars,
+        ir.init,
+        tuple(sorted(ir.handlers.items())),
+    )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def _element_loc(element: ElementDef) -> int:
+    """Non-blank, non-comment DSL line count of one element definition —
+    same accounting as :func:`repro.dsl.stdlib.stdlib_loc`, but usable
+    for any (possibly user-defined) element in a chain."""
+    from ..dsl.printer import print_element
+
+    count = 0
+    for raw in print_element(element).splitlines():
+        line = raw.strip()
+        if line and not line.startswith("--") and not line.startswith("#"):
+            count += 1
+    return count
 
 
 def compile_elements(

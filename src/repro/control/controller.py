@@ -187,8 +187,7 @@ class AdnController:
     def _push_endpoints(self, actions: List[str]) -> None:
         """Install replica sets into every running load balancer's
         endpoints table (hot, no pause: keyed upsert)."""
-        for (src, dst), installed in self.installed.items():
-            del src
+        for (_src, dst), installed in self.installed.items():
             if installed.stack is None:
                 continue
             replicas = [

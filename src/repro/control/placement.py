@@ -79,9 +79,6 @@ class PlacementRequest:
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     strategy: str = "software"  # software | inapp | offload | scaleout
     replicas: int = 1  # for scaleout
-    #: cross-element fusion: compile each software segment's elements
-    #: into one module (one dispatch per traversal, paper Q2)
-    fuse_segments: bool = False
     #: element name → "sender"/"receiver" overrides (colocate constraints)
     colocate: Dict[str, str] = field(default_factory=dict)
     #: elements that must not share the app binary
@@ -343,10 +340,6 @@ class PlacementSolver:
                 and platform in (Platform.MRPC, Platform.SIDECAR)
                 else 1
             )
-            fused = (
-                self.request.fuse_segments
-                and platform is not Platform.SWITCH_P4
-            )
             if (
                 segments
                 and segments[-1].platform is platform
@@ -360,7 +353,6 @@ class PlacementSolver:
                     elements=last.elements + (name,),
                     stages=self._local_stages(last.elements + (name,)),
                     replicas=replicas,
-                    fused=fused,
                 )
             else:
                 segments.append(
@@ -370,7 +362,6 @@ class PlacementSolver:
                         elements=(name,),
                         stages=((name,),),
                         replicas=replicas,
-                        fused=fused,
                     )
                 )
         client_transport = self._transport_mode("client-host", segments)

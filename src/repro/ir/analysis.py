@@ -23,6 +23,7 @@ from ..dsl.ast_nodes import BinaryOp, ColumnRef, Expr
 from ..dsl.functions import DEFAULT_REGISTRY, FunctionRegistry
 from .expr_utils import collect_refs, expr_cost_us, is_deterministic, op_count
 from .nodes import (
+    AdvanceInput,
     AssignVar,
     DeleteRows,
     ElementIR,
@@ -176,9 +177,67 @@ def _analyze_handler(
     key_columns: Dict[str, Tuple[str, ...]],
     registry: FunctionRegistry,
 ) -> HandlerAnalysis:
+    segments = _split_segments(handler.statements)
+    if len(segments) == 1:
+        return _analyze_segment(handler.kind, segments[0], key_columns, registry)
+    # fused handler: analyze each member segment against *its* input and
+    # merge — a fused element drops if any segment may produce zero rows,
+    # and its output narrowing composes through the seams.
+    parts = [
+        _analyze_segment(handler.kind, segment, key_columns, registry)
+        for segment in segments
+    ]
     result = HandlerAnalysis(kind=handler.kind)
+    narrowed: Optional[Set[str]] = None
+    for part in parts:
+        result.fields_read |= part.fields_read
+        result.fields_written |= part.fields_written
+        result.state_read |= part.state_read
+        result.state_written |= part.state_written
+        result.var_read |= part.var_read
+        result.var_written |= part.var_written
+        result.functions |= part.functions
+        result.payload_funcs |= part.payload_funcs
+        result.can_drop = result.can_drop or part.can_drop
+        result.can_multiply = result.can_multiply or part.can_multiply
+        result.deterministic = result.deterministic and part.deterministic
+        result.cost_us += part.cost_us
+        result.op_count += part.op_count
+        if part.narrowed_to is not None:
+            narrowed = set(part.narrowed_to)
+        elif narrowed is not None:
+            narrowed |= part.fields_written
+    result.narrowed_to = narrowed
+    result.emit_statements = parts[-1].emit_statements
+    result.op_count += len(segments) - 1  # one AdvanceInput op per seam
+    return result
+
+
+def _split_segments(
+    statements: Tuple[StatementIR, ...]
+) -> Tuple[Tuple[StatementIR, ...], ...]:
+    """Split a handler body at AdvanceInput fusion seams."""
+    segments: list = []
+    current: list = []
+    for stmt in statements:
+        if any(isinstance(op, AdvanceInput) for op in stmt.ops):
+            segments.append(tuple(current))
+            current = []
+        else:
+            current.append(stmt)
+    segments.append(tuple(current))
+    return tuple(segments)
+
+
+def _analyze_segment(
+    kind: str,
+    statements: Tuple[StatementIR, ...],
+    key_columns: Dict[str, Tuple[str, ...]],
+    registry: FunctionRegistry,
+) -> HandlerAnalysis:
+    result = HandlerAnalysis(kind=kind)
     unconditional_emit = False
-    for stmt in handler.statements:
+    for stmt in statements:
         _analyze_statement(stmt, key_columns, registry, result)
         if stmt.emits and not _statement_conditional(stmt, key_columns):
             unconditional_emit = True
@@ -189,7 +248,7 @@ def _analyze_handler(
         result.can_drop = True
     if result.emit_statements > 1:
         result.can_multiply = True
-    result.op_count += sum(len(stmt.ops) for stmt in handler.statements)
+    result.op_count += sum(len(stmt.ops) for stmt in statements)
     return result
 
 

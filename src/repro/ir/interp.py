@@ -20,6 +20,7 @@ from ..errors import RuntimeFault
 from ..state.table import StateStore, StateTable
 from .expr_utils import EvalEnv, _truthy, evaluate
 from .nodes import (
+    AdvanceInput,
     AssignVar,
     DeleteRows,
     ElementIR,
@@ -57,6 +58,8 @@ class ElementInstance:
         self.on_func_call = on_func_call
         initial_vars = {decl.name: decl.init.value for decl in ir.vars}
         self.state = StateStore(ir.states, initial_vars)
+        #: members completed before a fused element's internal drop
+        self.fused_progress = 0
         self._run_init()
 
     # -- lifecycle -----------------------------------------------------------
@@ -86,8 +89,19 @@ class ElementInstance:
 
     def _run_handler(self, handler: HandlerIR, rpc: Row) -> List[Row]:
         emitted: List[Row] = []
+        self.fused_progress = 0
+        current = rpc
         for stmt in handler.statements:
-            emitted.extend(self._execute_statement(stmt, input_row=rpc))
+            if len(stmt.ops) == 1 and isinstance(stmt.ops[0], AdvanceInput):
+                # fusion seam: previous member's single output becomes
+                # the next member's input; no output = fused drop
+                if not emitted:
+                    return []
+                current = emitted[0]
+                emitted = []
+                self.fused_progress += 1
+                continue
+            emitted.extend(self._execute_statement(stmt, input_row=current))
         return emitted
 
     # -- statement execution ----------------------------------------------

@@ -125,6 +125,21 @@ class AssignVar(Op):
 
 
 @dataclass(frozen=True)
+class AdvanceInput(Op):
+    """Fusion seam between two concatenated element bodies (§5.2 fusion).
+
+    Executed as a single-op statement: if the statements before the seam
+    emitted no rows, the fused element drops (returns no output); otherwise
+    the handler's *input* row is re-bound to the single emitted row and the
+    emit buffer is cleared, so the next member's statements read their
+    predecessor's output exactly as they would across a dispatch boundary.
+    ``source`` names the member element whose output feeds the seam.
+    """
+
+    source: str
+
+
+@dataclass(frozen=True)
 class StatementIR:
     """One lowered statement: an operator pipeline.
 
@@ -202,6 +217,8 @@ class ChainIR:
     elements: Tuple[ElementIR, ...]
     stages: Tuple[Tuple[str, ...], ...] = ()
     reordered: bool = False
+    #: per-pass diagnostics (repro.ir.passmgr.PassReport) from optimization
+    pass_reports: Tuple[object, ...] = ()
 
     def element(self, name: str) -> ElementIR:
         for element in self.elements:

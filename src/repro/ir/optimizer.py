@@ -1,39 +1,40 @@
-"""Pass manager: element-level and chain-level optimization pipelines.
+"""Optimizer entry points, built on the pass manager.
 
 ``optimize_element`` runs the semantics-preserving statement rewrites
-(constant folding, predicate pushdown) and re-analyzes. ``optimize_chain``
-additionally reorders elements for early drop and groups them into
-parallel stages, producing a :class:`~repro.ir.nodes.ChainIR`. Every
-chain-level transform is guarded by :mod:`repro.ir.dependency`, and the
-result records whether reordering happened so callers (and tests) can
-check legality with :func:`repro.ir.dependency.ordering_violations`.
+(constant folding, predicate pushdown) and re-analyzes.
+``optimize_chain`` runs the full chain pipeline — element passes, early-
+drop reordering, dead-field elimination, cross-element fusion, parallel
+staging — composed and reported by :class:`repro.ir.passmgr.PassManager`.
+Every chain-level transform is guarded by :mod:`repro.ir.dependency`;
+the resulting :class:`~repro.ir.nodes.ChainIR` carries the per-pass
+:class:`~repro.ir.passmgr.PassReport` list so callers (the CLI's
+``compile --explain``, benches, tests) can see exactly what ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..dsl.functions import DEFAULT_REGISTRY, FunctionRegistry
-from .analysis import ElementAnalysis, analyze_element
+from .analysis import analyze_element
 from .nodes import ChainIR, ElementIR
-from .passes import (
-    fold_constants_element,
-    parallel_stages,
-    pushdown_element,
-    reorder_for_early_drop,
-)
+from .passes import fold_constants_element, pushdown_element
+from .passmgr import PassManager
 
 
 @dataclass
 class OptimizerOptions:
-    """Which optimizations to apply (all on by default; benches toggle
-    these for the ablation experiment)."""
+    """Which passes to apply (benches toggle these for the ablation
+    experiment). Fusion is opt-in: it trades per-element placement
+    freedom for dispatch savings, a choice the caller makes."""
 
     constant_folding: bool = True
     predicate_pushdown: bool = True
     reorder: bool = True
     parallelize: bool = True
+    dead_fields: bool = True
+    fusion: bool = False
 
 
 @dataclass
@@ -46,6 +47,9 @@ class ChainContext:
     #: (first, second) ordering constraints from the app spec
     pinned_pairs: Tuple[Tuple[str, str], ...] = ()
     registry: FunctionRegistry = field(default_factory=lambda: DEFAULT_REGISTRY)
+    #: the app's RpcSchema; required for dead-field elimination (its
+    #: fields are always live), None skips that pass
+    schema: Optional[object] = None
 
 
 def optimize_element(
@@ -68,35 +72,19 @@ def optimize_chain(
     elements: Sequence[ElementIR],
     context: Optional[ChainContext] = None,
     options: Optional[OptimizerOptions] = None,
+    manager: Optional[PassManager] = None,
 ) -> ChainIR:
     """Optimize an ordered element chain into a :class:`ChainIR`."""
     context = context or ChainContext()
     options = options or OptimizerOptions()
-    optimized = [
-        optimize_element(element, options, context.registry)
-        for element in elements
-    ]
-    analyses: Dict[str, ElementAnalysis] = {
-        element.name: element.analysis  # type: ignore[misc]
-        for element in optimized
-    }
-    order: List[str] = [element.name for element in optimized]
-    reordered = False
-    if options.reorder:
-        order, reordered = reorder_for_early_drop(
-            order, analyses, context.pinned_pairs
-        )
-    by_name = {element.name: element for element in optimized}
-    ordered_elements = tuple(by_name[name] for name in order)
-    if options.parallelize:
-        stages = parallel_stages(order, analyses)
-    else:
-        stages = tuple((name,) for name in order)
+    manager = manager or PassManager()
+    state, reports = manager.run(elements, context, options)
     return ChainIR(
         app=context.app,
         src=context.src,
         dst=context.dst,
-        elements=ordered_elements,
-        stages=stages,
-        reordered=reordered,
+        elements=tuple(state.elements),
+        stages=state.stages,
+        reordered=state.reordered,
+        pass_reports=tuple(reports),
     )

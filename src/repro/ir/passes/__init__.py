@@ -2,19 +2,27 @@
 
 Element-level passes rewrite statement pipelines in place-preserving,
 semantics-preserving ways (constant folding, predicate pushdown). Chain-
-level passes rearrange whole elements (early-drop reordering,
-parallelization grouping) guarded by :mod:`repro.ir.dependency`.
+level passes rearrange or merge whole elements (early-drop reordering,
+dead-field elimination, cross-element fusion, parallelization grouping)
+guarded by :mod:`repro.ir.dependency`. The pipeline that composes them —
+and the per-pass diagnostics — lives in :mod:`repro.ir.passmgr`.
 """
 
 from .constant_folding import fold_constants_element, fold_expr
+from .dead_fields import eliminate_dead_fields
+from .fusion import fuse_elements, fuse_group
 from .predicate_pushdown import pushdown_element
-from .reorder import reorder_for_early_drop
+from .reorder import reorder_by_priority, reorder_for_early_drop
 from .parallelize import parallel_stages
 
 __all__ = [
+    "eliminate_dead_fields",
     "fold_constants_element",
     "fold_expr",
+    "fuse_elements",
+    "fuse_group",
     "parallel_stages",
     "pushdown_element",
+    "reorder_by_priority",
     "reorder_for_early_drop",
 ]

@@ -1,0 +1,154 @@
+"""Dead-field elimination across a chain (paper §4 Q2's flip side).
+
+Minimal-header planning already keeps a field off the wire when nothing
+downstream reads it; this pass removes the *computation* too: a
+``Project`` item whose output field is never read by any later element
+(in traversal order for its direction), never consumed by the
+application schema, and is not a transport field, is dropped from the
+emit pipeline. Narrowing projections shrink accordingly, so
+``fields_available_at`` — and with it every hop header — can only
+shrink or hold.
+
+Conservatism:
+
+* the removed expression must be deterministic — deleting a ``rand()``
+  call would shift the element's draw sequence and change behaviour;
+* responses echo the full request tuple (``make_response``), so a field
+  written on the request path is live if *any* element's response
+  handler reads it;
+* fused handlers (containing ``AdvanceInput`` seams) are left alone —
+  fusion runs after this pass;
+* state writes are never touched: tables are observable effects
+  (telemetry, logs, controller snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ...dsl.functions import FunctionRegistry
+from ..analysis import analyze_element
+from ..expr_utils import is_deterministic
+from ..nodes import AdvanceInput, ElementIR, HandlerIR, Project, StatementIR
+
+#: always-live fields: transport addressing/matching (mirrors
+#: repro.compiler.headers.TRANSPORT_FIELDS, duplicated to keep the IR
+#: layer import-free of the compiler layer) plus the status code every
+#: response carries.
+_ALWAYS_LIVE = frozenset({"src", "dst", "rpc_id", "kind", "status"})
+
+#: (element name, handler kind, field name) of one removed projection
+Removal = Tuple[str, str, str]
+
+
+def eliminate_dead_fields(
+    elements: Sequence[ElementIR],
+    schema,
+    registry: FunctionRegistry,
+) -> Tuple[List[ElementIR], List[Removal]]:
+    """Strip dead Project items from every element of an ordered chain.
+
+    Elements must be analyzed; modified elements come back re-analyzed.
+    Requires the app's ``RpcSchema`` (its fields are always live); with
+    ``schema=None`` the pass is a no-op.
+    """
+    if schema is None:
+        return list(elements), []
+    app_fields = set(schema.application_field_names())
+    request_reads = [_handler_reads(e, "request") for e in elements]
+    response_reads = [_handler_reads(e, "response") for e in elements]
+    all_response_reads: Set[str] = set().union(*response_reads) if elements else set()
+    result: List[ElementIR] = []
+    removed: List[Removal] = []
+    for index, element in enumerate(elements):
+        new_handlers = {}
+        element_removed: List[Removal] = []
+        for kind, handler in element.handlers.items():
+            if kind == "request":
+                # later request handlers, plus every response handler
+                # (the response echoes the request tuple)
+                live = set().union(
+                    _ALWAYS_LIVE,
+                    app_fields,
+                    all_response_reads,
+                    *request_reads[index + 1 :],
+                )
+            else:
+                # responses traverse the chain in reverse: downstream of
+                # position i are the elements before it
+                live = set().union(
+                    _ALWAYS_LIVE, app_fields, *response_reads[:index]
+                )
+            new_handler, handler_removed = _strip_handler(
+                element.name, handler, live, registry
+            )
+            new_handlers[kind] = new_handler
+            element_removed.extend(handler_removed)
+        if element_removed:
+            rewritten = ElementIR(
+                name=element.name,
+                meta=dict(element.meta),
+                states=element.states,
+                vars=element.vars,
+                init=element.init,
+                handlers=new_handlers,
+            )
+            analyze_element(rewritten, registry)
+            result.append(rewritten)
+            removed.extend(element_removed)
+        else:
+            result.append(element)
+    return result, removed
+
+
+def _handler_reads(element: ElementIR, kind: str) -> Set[str]:
+    analysis = element.analysis
+    assert analysis is not None, "dead-field elimination requires analysis"
+    handler = analysis.handlers.get(kind)
+    return set(handler.fields_read) if handler else set()
+
+
+def _strip_handler(
+    element_name: str,
+    handler: HandlerIR,
+    live: Set[str],
+    registry: FunctionRegistry,
+) -> Tuple[HandlerIR, List[Removal]]:
+    if any(
+        isinstance(op, AdvanceInput) for stmt in handler.statements for op in stmt.ops
+    ):
+        return handler, []
+    removed: List[Removal] = []
+    statements: List[StatementIR] = []
+    for stmt in handler.statements:
+        if not stmt.emits:
+            statements.append(stmt)
+            continue
+        ops = []
+        for op in stmt.ops:
+            if isinstance(op, Project):
+                removable = {
+                    index
+                    for index, (name, expr) in enumerate(op.items)
+                    if name not in live and is_deterministic(expr, registry)
+                }
+                if not op.keep_input and len(removable) == len(op.items):
+                    # never empty a narrowing projection entirely
+                    removable.discard(len(op.items) - 1)
+                kept = []
+                for index, (name, expr) in enumerate(op.items):
+                    if index in removable:
+                        removed.append((element_name, handler.kind, name))
+                    else:
+                        kept.append((name, expr))
+                if len(kept) != len(op.items):
+                    op = Project(
+                        items=tuple(kept),
+                        keep_input=op.keep_input,
+                        star_tables=op.star_tables,
+                    )
+            ops.append(op)
+        statements.append(StatementIR(ops=tuple(ops)))
+    if not removed:
+        return handler, []
+    return HandlerIR(kind=handler.kind, statements=tuple(statements)), removed

@@ -1,0 +1,334 @@
+"""Cross-element fusion (paper §5.2: "multiple element instances can be
+fused into one").
+
+Adjacent compatible elements merge into one fused ``ElementIR``: handler
+bodies are concatenated with :class:`~repro.ir.nodes.AdvanceInput` seams
+(request order forward, response order reversed), state tables and
+variables are renamed on collision, and the runtime pays a *single*
+module dispatch per traversal instead of one per member.
+
+Legality is decided per candidate member, conservatively:
+
+* **no fan-out** — a member that can multiply RPCs breaks the single-row
+  seam semantics (``AdvanceInput`` re-binds exactly one row);
+* **no response-side drops** — an unfused response drop degenerates to
+  forwarding *at that element*, preserving upstream response handlers; a
+  fused drop would skip them, so response droppers never fuse;
+* **no ordering pins** — an app ``before``/``after`` constraint between
+  two members (either orientation) keeps them separate, so constrained
+  pairs stay individually placeable and reorderable;
+* **position compatibility** — ``sender`` and ``receiver`` elements never
+  merge (``any`` merges with either).
+
+Fusion never reorders statements, so state-write ordering, drop points,
+and nondeterministic draw sequences (``rand()``) are preserved exactly —
+the fused chain is differential-testable against the unfused one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...dsl.ast_nodes import (
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    StateDecl,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+)
+from ...dsl.functions import FunctionRegistry
+from ..analysis import analyze_element
+from ..expr_utils import TABLE_ARG_FUNCS
+from ..nodes import (
+    AdvanceInput,
+    AssignVar,
+    DeleteRows,
+    ElementIR,
+    FilterRows,
+    HandlerIR,
+    InsertLiterals,
+    InsertRows,
+    JoinState,
+    Op,
+    Project,
+    StatementIR,
+    UpdateRows,
+)
+
+
+def fuse_elements(
+    elements: Sequence[ElementIR],
+    pinned_pairs: Tuple[Tuple[str, str], ...],
+    registry: FunctionRegistry,
+) -> Tuple[List[ElementIR], List[Tuple[str, ...]], List[str]]:
+    """Greedily fuse maximal runs of adjacent compatible elements.
+
+    Returns ``(new_elements, fused_groups, refusal_notes)``. Elements must
+    already be analyzed; fused elements come back analyzed.
+    """
+    result: List[ElementIR] = []
+    groups: List[Tuple[str, ...]] = []
+    notes: List[str] = []
+    run: List[ElementIR] = []
+    for element in elements:
+        if not run:
+            run = [element]
+            continue
+        refusal = _fusion_refusal(run, element, pinned_pairs)
+        if refusal is None:
+            run.append(element)
+        else:
+            notes.append(refusal)
+            result.append(_close_run(run, groups, registry))
+            run = [element]
+    if run:
+        result.append(_close_run(run, groups, registry))
+    return result, groups, notes
+
+
+def _close_run(
+    run: List[ElementIR],
+    groups: List[Tuple[str, ...]],
+    registry: FunctionRegistry,
+) -> ElementIR:
+    if len(run) == 1:
+        return run[0]
+    groups.append(tuple(e.name for e in run))
+    return fuse_group(run, registry)
+
+
+def _fusion_refusal(
+    run: List[ElementIR], candidate: ElementIR, pinned: Tuple[Tuple[str, str], ...]
+) -> Optional[str]:
+    """Why ``candidate`` cannot join the current run (None = it can)."""
+    for member in run + [candidate]:
+        analysis = member.analysis
+        assert analysis is not None, "fusion requires analyzed elements"
+        if analysis.can_multiply:
+            return f"{member.name} fans out RPCs: single-row seam is unsound"
+        response = analysis.handlers.get("response")
+        if response is not None and response.can_drop:
+            return (
+                f"{member.name} may drop responses: fusing would skip "
+                "upstream response handlers"
+            )
+    for member in run:
+        for pair in ((member.name, candidate.name), (candidate.name, member.name)):
+            if pair in pinned:
+                return (
+                    f"ordering constraint pins {pair[0]} before {pair[1]}: "
+                    "members stay separately placeable"
+                )
+    positions = {e.position for e in run + [candidate]} - {"any"}
+    if len(positions) > 1:
+        return (
+            f"incompatible positions {sorted(positions)}: sender and "
+            "receiver elements never merge"
+        )
+    return None
+
+
+def fuse_group(
+    members: Sequence[ElementIR], registry: FunctionRegistry
+) -> ElementIR:
+    """Merge ``members`` (already legality-checked) into one ElementIR."""
+    table_maps, var_maps = _rename_maps(members)
+    name = "__".join(e.name for e in members)
+    states: List[StateDecl] = []
+    vars_: List[VarDecl] = []
+    init: List[StatementIR] = []
+    for member in members:
+        tmap, vmap = table_maps[member.name], var_maps[member.name]
+        for decl in member.states:
+            states.append(replace(decl, name=tmap.get(decl.name, decl.name)))
+        for decl in member.vars:
+            vars_.append(replace(decl, name=vmap.get(decl.name, decl.name)))
+        for stmt in member.init:
+            init.append(_rewrite_statement(stmt, tmap, vmap))
+    positions = {e.position for e in members} - {"any"}
+    meta: Dict[str, object] = {"fused_from": tuple(e.name for e in members)}
+    if positions:
+        meta["position"] = positions.pop()
+    if any(e.mandatory for e in members):
+        meta["mandatory"] = True
+    handlers: Dict[str, HandlerIR] = {}
+    request = _concat_handlers(members, "request", table_maps, var_maps)
+    if request is not None:
+        handlers["request"] = request
+    response = _concat_handlers(
+        list(reversed(members)), "response", table_maps, var_maps
+    )
+    if response is not None:
+        handlers["response"] = response
+    fused = ElementIR(
+        name=name,
+        meta=meta,
+        states=tuple(states),
+        vars=tuple(vars_),
+        init=tuple(init),
+        handlers=handlers,
+    )
+    analyze_element(fused, registry)
+    return fused
+
+
+def _concat_handlers(
+    members: Sequence[ElementIR],
+    kind: str,
+    table_maps: Dict[str, Dict[str, str]],
+    var_maps: Dict[str, Dict[str, str]],
+) -> Optional[HandlerIR]:
+    """Concatenate member handler bodies with AdvanceInput seams.
+
+    Members without a handler in this direction are identity and are
+    skipped without a seam."""
+    present = [m for m in members if m.handler(kind) is not None]
+    if not present:
+        return None
+    statements: List[StatementIR] = []
+    for index, member in enumerate(present):
+        if index > 0:
+            statements.append(
+                StatementIR(ops=(AdvanceInput(source=present[index - 1].name),))
+            )
+        tmap, vmap = table_maps[member.name], var_maps[member.name]
+        for stmt in member.handler(kind).statements:
+            statements.append(_rewrite_statement(stmt, tmap, vmap))
+    return HandlerIR(kind=kind, statements=tuple(statements))
+
+
+def _rename_maps(
+    members: Sequence[ElementIR],
+) -> Tuple[Dict[str, Dict[str, str]], Dict[str, Dict[str, str]]]:
+    """Per-member rename maps for colliding state tables and variables.
+
+    The first member to use a name keeps it (so e.g. an ``endpoints``
+    table stays visible to the controller's replica push); later members
+    get ``{member}__{name}``."""
+    table_maps: Dict[str, Dict[str, str]] = {}
+    var_maps: Dict[str, Dict[str, str]] = {}
+    seen_tables: set = set()
+    seen_vars: set = set()
+    for member in members:
+        tmap: Dict[str, str] = {}
+        vmap: Dict[str, str] = {}
+        for decl in member.states:
+            if decl.name in seen_tables:
+                tmap[decl.name] = f"{member.name}__{decl.name}"
+            else:
+                seen_tables.add(decl.name)
+        for decl in member.vars:
+            if decl.name in seen_vars:
+                vmap[decl.name] = f"{member.name}__{decl.name}"
+            else:
+                seen_vars.add(decl.name)
+        table_maps[member.name] = tmap
+        var_maps[member.name] = vmap
+    return table_maps, var_maps
+
+
+# -- rewriting ----------------------------------------------------------
+
+
+def _rewrite_statement(
+    stmt: StatementIR, tmap: Dict[str, str], vmap: Dict[str, str]
+) -> StatementIR:
+    if not tmap and not vmap:
+        return stmt
+    return StatementIR(ops=tuple(_rewrite_op(op, tmap, vmap) for op in stmt.ops))
+
+
+def _rewrite_op(op: Op, tmap: Dict[str, str], vmap: Dict[str, str]) -> Op:
+    if isinstance(op, JoinState):
+        return JoinState(
+            table=tmap.get(op.table, op.table),
+            on=_rewrite_expr(op.on, tmap, vmap),
+        )
+    if isinstance(op, FilterRows):
+        return FilterRows(predicate=_rewrite_expr(op.predicate, tmap, vmap))
+    if isinstance(op, Project):
+        return Project(
+            items=tuple(
+                (name, _rewrite_expr(expr, tmap, vmap)) for name, expr in op.items
+            ),
+            keep_input=op.keep_input,
+            star_tables=tuple(tmap.get(t, t) for t in op.star_tables),
+        )
+    if isinstance(op, InsertRows):
+        return InsertRows(table=tmap.get(op.table, op.table))
+    if isinstance(op, InsertLiterals):
+        return InsertLiterals(table=tmap.get(op.table, op.table), rows=op.rows)
+    if isinstance(op, UpdateRows):
+        return UpdateRows(
+            table=tmap.get(op.table, op.table),
+            assignments=tuple(
+                (name, _rewrite_expr(expr, tmap, vmap))
+                for name, expr in op.assignments
+            ),
+            where=_rewrite_expr(op.where, tmap, vmap),
+        )
+    if isinstance(op, DeleteRows):
+        return DeleteRows(
+            table=tmap.get(op.table, op.table),
+            where=_rewrite_expr(op.where, tmap, vmap),
+        )
+    if isinstance(op, AssignVar):
+        return AssignVar(
+            var=vmap.get(op.var, op.var),
+            expr=_rewrite_expr(op.expr, tmap, vmap),
+            where=_rewrite_expr(op.where, tmap, vmap),
+        )
+    return op
+
+
+def _rewrite_expr(
+    expr: Optional[Expr], tmap: Dict[str, str], vmap: Dict[str, str]
+) -> Optional[Expr]:
+    if expr is None:
+        return None
+    if isinstance(expr, ColumnRef):
+        if expr.table is not None and expr.table in tmap:
+            return replace(expr, table=tmap[expr.table])
+        return expr
+    if isinstance(expr, VarRef):
+        if expr.name in vmap:
+            return replace(expr, name=vmap[expr.name])
+        return expr
+    if isinstance(expr, FuncCall):
+        args = list(expr.args)
+        start = 0
+        if expr.name in TABLE_ARG_FUNCS and args:
+            first = args[0]
+            # the first argument names a state table, not a value
+            if isinstance(first, ColumnRef) and first.name in tmap:
+                args[0] = replace(first, name=tmap[first.name])
+            start = 1
+        for i in range(start, len(args)):
+            args[i] = _rewrite_expr(args[i], tmap, vmap)
+        return replace(expr, args=tuple(args))
+    if isinstance(expr, BinaryOp):
+        return replace(
+            expr,
+            left=_rewrite_expr(expr.left, tmap, vmap),
+            right=_rewrite_expr(expr.right, tmap, vmap),
+        )
+    if isinstance(expr, UnaryOp):
+        return replace(expr, operand=_rewrite_expr(expr.operand, tmap, vmap))
+    if isinstance(expr, CaseExpr):
+        return replace(
+            expr,
+            whens=tuple(
+                (
+                    _rewrite_expr(cond, tmap, vmap),
+                    _rewrite_expr(value, tmap, vmap),
+                )
+                for cond, value in expr.whens
+            ),
+            default=_rewrite_expr(expr.default, tmap, vmap),
+        )
+    return expr

@@ -171,12 +171,10 @@ class AdnMrpcStack:
         ]
         for processor in self.processors:
             for name in processor.segment.elements:
-                analysis = self.chain.elements[name].analysis
                 if "endpoints" in {
                     decl.name for decl in self.chain.elements[name].ir.states
                 }:
                     processor.seed_endpoints(name, replicas)
-                del analysis
 
     def _build_codec(self) -> AdnWireCodec:
         """Codecs for the client→server wire hop, from the minimal
@@ -313,6 +311,8 @@ class AdnMrpcStack:
         current: Row = request
         crossed_wire = False
         dropped_by: Optional[str] = None
+        dropping_processor: Optional[ProcessorRuntime] = None
+        dropped_after_entry = False
         for processor in self.processors:
             if processor.segment.machine in ("server-host", SWITCH_LOCATION) and (
                 not crossed_wire
@@ -344,6 +344,8 @@ class AdnMrpcStack:
             mirrored += result.mirrored
             if result.dropped_by:
                 dropped_by = result.dropped_by
+                dropping_processor = processor
+                dropped_after_entry = result.dropped_after_entry
                 break
             current = result.outputs[0]
 
@@ -377,12 +379,19 @@ class AdnMrpcStack:
         else:
             response = make_abort(current, dropped_by)
 
-        # response path: reverse traversal from where we turned around
+        # response path: reverse traversal from where we turned around.
+        # The dropping processor itself re-runs iff anything inside it
+        # (an earlier element, or an earlier member of a fused element)
+        # already executed — its response handlers must see the abort.
         reverse_processors = [
             processor
             for processor in reversed(self.processors)
             if dropped_by is None
-            or self._before_drop(processor, dropped_by)
+            or (
+                dropped_after_entry
+                if processor is dropping_processor
+                else self._before_drop(processor, dropped_by)
+            )
         ]
         returned_wire = crossed_wire
         for processor in reverse_processors:

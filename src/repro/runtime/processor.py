@@ -39,10 +39,6 @@ class PlacementSegment:
     stages: Tuple[Tuple[str, ...], ...] = ()
     #: number of replicated processor instances (Figure 2 config 4)
     replicas: int = 1
-    #: cross-element fusion (paper Q2): the backend compiles the
-    #: segment's elements into one module, paying the per-module
-    #: dispatch once per traversal instead of once per element
-    fused: bool = False
 
     def __post_init__(self) -> None:
         if not self.stages:
@@ -77,6 +73,10 @@ class SegmentResult:
 
     outputs: List[Row]
     dropped_by: Optional[str] = None
+    #: on a drop: did any element — or any member inside a fused
+    #: element — complete before the dropper? Decides whether the abort
+    #: turnaround re-traverses this processor's response handlers.
+    dropped_after_entry: bool = False
     mirrored: int = 0
     cpu_us: float = 0.0
     extra_us: float = 0.0
@@ -151,14 +151,11 @@ class ProcessorRuntime:
 
     # -- execution -------------------------------------------------------------
 
-    def _element_cost_us(
-        self, name: str, kind: str, func_us: float, first_in_segment: bool
-    ) -> float:
+    def _element_cost_us(self, name: str, kind: str, func_us: float) -> float:
         analysis = self.chain.elements[name].analysis
+        # one dispatch per element — a fused element *is* one element,
+        # so its members share a single dispatch by construction
         dispatch = self.costs.element_dispatch_us
-        if self.segment.fused and not first_in_segment:
-            # fused segments pay one module dispatch per traversal
-            dispatch = 0.0
         base = dispatch + analysis.handler_cost_us(kind) + func_us
         factor = self.costs.platform_element_factor[self.segment.platform]
         if self.handcoded:
@@ -183,7 +180,6 @@ class ProcessorRuntime:
         )
         stage_costs: List[float] = []
         current = dict(rpc)
-        expected_dst = current.get("dst")
         executed = 0
         for stage in stages:
             member_costs: List[float] = []
@@ -191,24 +187,24 @@ class ProcessorRuntime:
                 if name not in order:
                     continue
                 self._pending_func_us = 0.0
-                outputs = self.instances[name].process(dict(current), kind)
+                instance = self.instances[name]
+                outputs = instance.process(dict(current), kind)
                 member_costs.append(
-                    self._element_cost_us(
-                        name, kind, self._pending_func_us, executed == 0
-                    )
+                    self._element_cost_us(name, kind, self._pending_func_us)
                 )
                 executed += 1
                 self.element_processed[name] += 1
                 if not outputs:
                     if kind == "request":
                         result.dropped_by = name
+                        result.dropped_after_entry = (
+                            executed > 1
+                            or getattr(instance, "fused_progress", 0) > 0
+                        )
                         self.element_dropped[name] += 1
                         result.outputs = []
-                        stage_costs.append(
-                            max(member_costs) if self._parallel_capable()
-                            else sum(member_costs)
-                        )
-                        result.cpu_us = self._total_cpu(stage_costs, member_costs)
+                        stage_costs.append(self._stage_cost(member_costs))
+                        result.cpu_us = sum(stage_costs)
                         result.extra_us = self._extra_us(len(order))
                         return result
                     # a dropped response degenerates to forwarding; keep
@@ -219,12 +215,7 @@ class ProcessorRuntime:
                     result.mirrored += 1
                     del extra  # mirrored copies terminate at a shadow sink
                 current = forward
-            stage_costs.append(
-                max(member_costs)
-                if self._parallel_capable() and member_costs
-                else sum(member_costs)
-            )
-        del expected_dst
+            stage_costs.append(self._stage_cost(member_costs))
         result.outputs = [current]
         result.cpu_us = sum(stage_costs)
         result.extra_us = self._extra_us(len(order))
@@ -233,8 +224,12 @@ class ProcessorRuntime:
     def _parallel_capable(self) -> bool:
         return self.resource is not None and self.resource.capacity > 1
 
-    def _total_cpu(self, stage_costs: List[float], last: List[float]) -> float:
-        return sum(stage_costs)
+    def _stage_cost(self, member_costs: List[float]) -> float:
+        """CPU charge for one stage: concurrent members overlap (pay the
+        max) when the platform has spare capacity, else serialize."""
+        if self._parallel_capable() and member_costs:
+            return max(member_costs)
+        return sum(member_costs)
 
     def _extra_us(self, element_count: int) -> float:
         per_element = self.costs.platform_element_extra_us[self.segment.platform]

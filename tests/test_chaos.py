@@ -15,6 +15,7 @@ from repro.compiler.compiler import AdnCompiler
 from repro.control import ClusterSpec, PlacementRequest, solve_placement
 from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
 from repro.dsl.ast_nodes import ChainDecl
+from repro.ir.optimizer import OptimizerOptions
 from repro.runtime import AdnMrpcStack
 from repro.runtime.message import reset_rpc_ids
 from repro.sim import ClosedLoopClient, Simulator, two_machine_cluster
@@ -54,7 +55,10 @@ def run_trial(seed: int):
     reset_rpc_ids()
     registry = FunctionRegistry(rng=random.Random(seed))
     program = load_stdlib(schema=SCHEMA)
-    compiler = AdnCompiler(registry=registry)
+    # fusion is now a compile-time IR pass, not a placement flag
+    compiler = AdnCompiler(
+        registry=registry, options=OptimizerOptions(fusion=fuse)
+    )
     chain = compiler.compile_chain(
         ChainDecl(src="A", dst="B", elements=tuple(names)), program, SCHEMA
     )
@@ -68,7 +72,6 @@ def run_trial(seed: int):
                 programmable_switch=programmable_switch,
             ),
             replicas=rng.choice([2, 4]) if strategy == "scaleout" else 1,
-            fuse_segments=fuse,
         )
     )
     sim = Simulator()

@@ -103,6 +103,41 @@ class TestCompile:
     def test_unknown_element(self, dsl_file, capsys):
         assert main(["compile", dsl_file, "--element", "Ghost"]) == 1
 
+    def test_explain_prints_pass_report(self, dsl_file, capsys):
+        assert main(["compile", dsl_file, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "chain A -> B:" in out
+        for pass_name in (
+            "constant_folding",
+            "predicate_pushdown",
+            "reorder",
+            "dead_fields",
+            "fuse_elements",
+            "parallelize",
+        ):
+            assert pass_name in out
+        assert "fused " in out  # fusion actually fired
+        assert "artifact cache:" in out
+
+    def test_explain_without_app_falls_back_to_elements(self, tmp_path, capsys):
+        path = tmp_path / "noapp.adn"
+        path.write_text(ELEMENT_SRC)
+        assert main(["compile", str(path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "chain A -> B:" in out
+        assert "Stamp" in out
+
+    def test_explain_demo_example(self, capsys):
+        import os
+
+        demo = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "explain_demo.adn"
+        )
+        assert main(["compile", "--explain", demo]) == 0
+        out = capsys.readouterr().out
+        assert "dropped dead field 'audit_zone'" in out
+        assert "fused AuditStamp + Logging + Fault + Acl" in out
+
 
 class TestPlan:
     def test_software_plan(self, dsl_file, capsys):

@@ -1,0 +1,443 @@
+"""Pass-manager pipeline tests: per-pass reports, cross-element fusion
+(legality + behaviour equivalence), dead-field elimination, and the
+compiler's artifact cache."""
+
+import random
+
+import pytest
+
+from repro.compiler.compiler import AdnCompiler
+from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
+from repro.dsl.ast_nodes import ChainDecl
+from repro.dsl.parser import parse_element
+from repro.dsl.validator import validate_element
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+from repro.ir.nodes import AdvanceInput, Project
+from repro.ir.optimizer import ChainContext, OptimizerOptions, optimize_chain
+from repro.ir.passes import eliminate_dead_fields, fuse_elements, fuse_group
+from repro.ir.passmgr import format_report_table
+
+from conftest import make_rpc
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+
+
+def element_ir(source, registry=None, schema=None, validate=True):
+    element = parse_element(source)
+    if validate:
+        element = validate_element(
+            element, schema=schema or SCHEMA, registry=registry
+        )
+    ir = build_element_ir(element)
+    analyze_element(ir, registry)
+    return ir
+
+
+def stdlib_irs(*names, registry=None):
+    program = load_stdlib(schema=SCHEMA)
+    result = []
+    for name in names:
+        ir = build_element_ir(program.elements[name])
+        analyze_element(ir, registry)
+        result.append(ir)
+    return result
+
+
+class TestPassReports:
+    def chain(self, options, *names):
+        registry = FunctionRegistry()
+        context = ChainContext(registry=registry, schema=SCHEMA)
+        return optimize_chain(
+            stdlib_irs(*names, registry=registry), context, options
+        )
+
+    def test_every_pass_reports(self):
+        chain = self.chain(OptimizerOptions(), "Logging", "Acl", "Fault")
+        names = [report.name for report in chain.pass_reports]
+        assert names == [
+            "constant_folding",
+            "predicate_pushdown",
+            "reorder",
+            "dead_fields",
+            "fuse_elements",
+            "parallelize",
+        ]
+        for report in chain.pass_reports:
+            assert report.legality_ok
+
+    def test_disabled_pass_marked_skipped(self):
+        chain = self.chain(
+            OptimizerOptions(reorder=False), "Logging", "Acl", "Fault"
+        )
+        by_name = {report.name: report for report in chain.pass_reports}
+        assert by_name["reorder"].skipped
+        assert by_name["reorder"].notes == ("disabled by options",)
+        # fusion is opt-in, so it is skipped by default too
+        assert by_name["fuse_elements"].skipped
+
+    def test_fusion_report_counts_merges(self):
+        chain = self.chain(
+            OptimizerOptions(fusion=True), "Logging", "Acl", "Fault"
+        )
+        by_name = {report.name: report for report in chain.pass_reports}
+        assert by_name["fuse_elements"].rewrites == 2  # 3 members, 2 merges
+        assert len(chain.element_names) == 1
+
+    def test_report_table_renders(self):
+        chain = self.chain(
+            OptimizerOptions(fusion=True), "Logging", "Acl", "Fault"
+        )
+        table = format_report_table(chain.pass_reports)
+        assert "pass" in table and "rewrites" in table
+        for name in ("constant_folding", "fuse_elements", "dead_fields"):
+            assert name in table
+
+    def test_no_schema_skips_dead_fields(self):
+        registry = FunctionRegistry()
+        chain = optimize_chain(
+            stdlib_irs("Logging", "Acl", registry=registry),
+            ChainContext(registry=registry),  # no schema
+            OptimizerOptions(),
+        )
+        by_name = {report.name: report for report in chain.pass_reports}
+        assert by_name["dead_fields"].skipped
+
+
+class TestFusionLegality:
+    def fuse(self, irs, pinned=()):
+        registry = FunctionRegistry()
+        return fuse_elements(irs, tuple(pinned), registry)
+
+    def test_refuses_fanout_member(self):
+        elements, groups, notes = self.fuse(
+            stdlib_irs("Logging", "Mirror", "Acl")
+        )
+        # Mirror fans out; nothing may fuse across it
+        names = [e.name for e in elements]
+        assert "Mirror" in names
+        assert all("__" not in name or "Mirror" not in name for name in names)
+        assert any("fans out" in note for note in notes)
+
+    def test_refuses_pinned_pair(self):
+        elements, groups, notes = self.fuse(
+            stdlib_irs("Logging", "Acl"), pinned=[("Logging", "Acl")]
+        )
+        assert [e.name for e in elements] == ["Logging", "Acl"]
+        assert groups == []
+        assert any("ordering constraint" in note for note in notes)
+
+    def test_refuses_response_dropper(self):
+        dropper = element_ir(
+            """
+            element RespFilter {
+                on request { SELECT * FROM input; }
+                on response {
+                    SELECT * FROM input WHERE input.status == 'ok';
+                }
+            }
+            """
+        )
+        logging_ir, acl_ir = stdlib_irs("Logging", "Acl")
+        elements, groups, notes = self.fuse([logging_ir, dropper, acl_ir])
+        assert [e.name for e in elements] == ["Logging", "RespFilter", "Acl"]
+        assert any("drop responses" in note for note in notes)
+
+    def test_refuses_sender_receiver_merge(self):
+        elements, groups, notes = self.fuse(
+            stdlib_irs("Compression", "Decompression")
+        )
+        assert [e.name for e in elements] == ["Compression", "Decompression"]
+        assert any("positions" in note for note in notes)
+
+    def test_fused_metadata_and_seams(self):
+        registry = FunctionRegistry()
+        fused = fuse_group(
+            stdlib_irs("Logging", "Acl", "Fault", registry=registry), registry
+        )
+        assert fused.name == "Logging__Acl__Fault"
+        assert fused.meta["fused_from"] == ("Logging", "Acl", "Fault")
+        seams = [
+            op
+            for stmt in fused.handlers["request"].statements
+            for op in stmt.ops
+            if isinstance(op, AdvanceInput)
+        ]
+        assert [seam.source for seam in seams] == ["Logging", "Acl"]
+
+    def test_colliding_state_tables_renamed(self):
+        first = element_ir(
+            """
+            element CountA {
+                state seen (n: int);
+                on request {
+                    INSERT INTO seen SELECT input.obj_id FROM input;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        second = element_ir(
+            """
+            element CountB {
+                state seen (n: int);
+                on request {
+                    INSERT INTO seen SELECT input.obj_id FROM input;
+                    SELECT * FROM input;
+                }
+            }
+            """
+        )
+        registry = FunctionRegistry()
+        fused = fuse_group([first, second], registry)
+        table_names = {decl.name for decl in fused.states}
+        # first occupant keeps the name; the second is prefixed
+        assert table_names == {"seen", "CountB__seen"}
+
+
+class TestFusedBehaviourEquivalence:
+    """The fused chain is byte-identical to the unfused one on the
+    paper's Logging -> ACL -> Fault evaluation chain (same seeded
+    rand() stream on both sides)."""
+
+    NAMES = ("Logging", "Acl", "Fault")
+
+    def compile_chain(self, fusion, seed):
+        registry = FunctionRegistry(rng=random.Random(seed))
+        program = load_stdlib(schema=SCHEMA)
+        compiler = AdnCompiler(
+            registry=registry, options=OptimizerOptions(fusion=fusion)
+        )
+        return compiler.compile_chain(
+            ChainDecl(src="A", dst="B", elements=self.NAMES), program, SCHEMA
+        )
+
+    @staticmethod
+    def run_rows(chain, rows, kind):
+        instances = {
+            name: chain.elements[name].artifact("python").factory()
+            for name in chain.element_order
+        }
+        order = (
+            chain.element_order
+            if kind == "request"
+            else tuple(reversed(chain.element_order))
+        )
+        results = []
+        for row in rows:
+            current = dict(row)
+            dropped = False
+            for name in order:
+                outputs = instances[name].process(dict(current), kind)
+                if not outputs:
+                    dropped = True
+                    break
+                current = outputs[0]
+            results.append(None if dropped else current)
+        return results
+
+    @staticmethod
+    def rows(count):
+        rng = random.Random(3)
+        return [
+            make_rpc(
+                rpc_id=index,
+                username=rng.choice(["usr1", "usr2", "ghost"]),
+                obj_id=rng.randrange(64),
+                payload=b"x" * rng.choice([8, 64, 256]),
+            )
+            for index in range(count)
+        ]
+
+    def test_request_direction_identical(self):
+        rows = self.rows(300)
+        plain = self.run_rows(self.compile_chain(False, seed=11), rows, "request")
+        fused = self.run_rows(self.compile_chain(True, seed=11), rows, "request")
+        assert plain == fused
+        dropped = sum(1 for result in plain if result is None)
+        assert 0 < dropped < len(rows)  # the comparison exercised drops
+
+    def test_response_direction_identical(self):
+        rows = [dict(row, kind="response") for row in self.rows(120)]
+        plain = self.run_rows(self.compile_chain(False, seed=5), rows, "response")
+        fused = self.run_rows(self.compile_chain(True, seed=5), rows, "response")
+        assert plain == fused
+
+    def test_fused_drop_reports_progress(self):
+        chain = self.compile_chain(True, seed=11)
+        (name,) = chain.element_order
+        instance = chain.elements[name].artifact("python").factory()
+        denied = make_rpc(username="ghost")  # ACL (mid-chain) denies
+        outputs = instance.process(dict(denied), "request")
+        assert outputs == []
+        assert instance.fused_progress > 0
+
+
+class TestDeadFieldElimination:
+    def optimize(self, irs, options=None):
+        registry = FunctionRegistry()
+        return optimize_chain(
+            irs,
+            ChainContext(registry=registry, schema=SCHEMA),
+            options or OptimizerOptions(),
+        )
+
+    def test_unread_written_field_removed_and_off_the_wire(self):
+        stamp = element_ir(
+            """
+            element Stamp {
+                on request {
+                    SELECT input.*, hash(input.username) AS zone FROM input;
+                }
+                on response { SELECT * FROM input; }
+            }
+            """
+        )
+        (acl,) = stdlib_irs("Acl")
+        chain = self.optimize([stamp, acl])
+        optimized = {e.name: e for e in chain.elements}["Stamp"]
+        assert "zone" not in optimized.analysis.fields_written
+        # the removed field never crosses the wire: a compiled instance
+        # does not emit it
+        compiler = AdnCompiler()
+        compiled = compiler._compile_ir(optimized)
+        (output,) = compiled.artifact("python").factory().process(
+            make_rpc(), "request"
+        )
+        assert "zone" not in output
+
+    def test_field_read_by_response_handler_is_live(self):
+        stamp = element_ir(
+            """
+            element Stamp {
+                on request {
+                    SELECT input.*, hash(input.username) AS zone FROM input;
+                }
+                on response { SELECT * FROM input; }
+            }
+            """
+        )
+        # reads a field another element derived, so the schema-driven
+        # validator cannot see it; build the IR unvalidated
+        reader = element_ir(
+            """
+            element ZoneReader {
+                state zones (z: int);
+                on request { SELECT * FROM input; }
+                on response {
+                    INSERT INTO zones SELECT input.zone FROM input;
+                    SELECT * FROM input;
+                }
+            }
+            """,
+            validate=False,
+        )
+        chain = self.optimize([stamp, reader])
+        optimized = {e.name: e for e in chain.elements}["Stamp"]
+        # the response path echoes the request tuple, so the field is live
+        assert "zone" in optimized.analysis.fields_written
+
+    def test_nondeterministic_write_kept(self):
+        jitter = element_ir(
+            """
+            element Jitter {
+                on request {
+                    SELECT input.*, rand() AS jitter FROM input;
+                }
+                on response { SELECT * FROM input; }
+            }
+            """
+        )
+        (acl,) = stdlib_irs("Acl")
+        chain = self.optimize([jitter, acl])
+        optimized = {e.name: e for e in chain.elements}["Jitter"]
+        # removing the rand() call would shift the draw sequence
+        assert "jitter" in optimized.analysis.fields_written
+
+    def test_narrowing_projection_never_emptied(self):
+        narrow = element_ir(
+            """
+            element Narrow {
+                on request {
+                    SELECT hash(input.username) AS only_field FROM input;
+                }
+                on response { SELECT * FROM input; }
+            }
+            """
+        )
+        registry = FunctionRegistry()
+        elements, removed = eliminate_dead_fields([narrow], SCHEMA, registry)
+        projects = [
+            op
+            for stmt in elements[0].handlers["request"].statements
+            for op in stmt.ops
+            if isinstance(op, Project)
+        ]
+        assert all(len(op.items) >= 1 for op in projects)
+
+
+class TestArtifactCache:
+    def test_recompile_hits_cache(self):
+        program = load_stdlib(schema=SCHEMA)
+        compiler = AdnCompiler(registry=FunctionRegistry())
+        decl = ChainDecl(src="A", dst="B", elements=("Logging", "Acl"))
+        compiler.compile_chain(decl, program, SCHEMA)
+        misses_after_first = compiler.cache_stats.misses
+        assert compiler.cache_stats.hits == 0
+        compiler.compile_chain(decl, program, SCHEMA)
+        assert compiler.cache_stats.misses == misses_after_first
+        assert compiler.cache_stats.hits == misses_after_first
+        assert compiler.cache_stats.lookups == 2 * misses_after_first
+
+    def test_cached_factories_are_independent(self):
+        program = load_stdlib(schema=SCHEMA)
+        compiler = AdnCompiler(registry=FunctionRegistry())
+        decl = ChainDecl(src="A", dst="B", elements=("Logging",))
+        first = compiler.compile_chain(decl, program, SCHEMA)
+        second = compiler.compile_chain(decl, program, SCHEMA)
+        a = first.elements["Logging"].artifact("python").factory()
+        b = second.elements["Logging"].artifact("python").factory()
+        a.process(make_rpc(), "request")
+        # a cache hit shares source, not state: b's tables stay empty
+        assert a.state is not b.state
+        assert len(list(a.state.table("log_tab").rows())) == 1
+        assert len(list(b.state.table("log_tab").rows())) == 0
+
+    def test_different_options_do_not_collide(self):
+        program = load_stdlib(schema=SCHEMA)
+        decl = ChainDecl(src="A", dst="B", elements=("Logging", "Acl", "Fault"))
+        fused = AdnCompiler(
+            registry=FunctionRegistry(), options=OptimizerOptions(fusion=True)
+        ).compile_chain(decl, program, SCHEMA)
+        plain = AdnCompiler(registry=FunctionRegistry()).compile_chain(
+            decl, program, SCHEMA
+        )
+        assert len(fused.element_order) == 1
+        assert len(plain.element_order) == 3
+
+
+class TestFusedBackendLegality:
+    def fused_ir(self):
+        registry = FunctionRegistry()
+        return fuse_group(
+            stdlib_irs("Logging", "Acl", registry=registry), registry
+        )
+
+    def test_kernel_backends_refuse_fused_elements(self):
+        from repro.compiler.backends import make_backends
+
+        backends = make_backends(FunctionRegistry())
+        fused = self.fused_ir()
+        for name in ("ebpf", "p4"):
+            report = backends[name].check(fused)
+            assert not report.legal
+            assert any("fused" in v for v in report.violations)
+
+    def test_software_backends_accept_fused_elements(self):
+        from repro.compiler.backends import make_backends
+
+        backends = make_backends(FunctionRegistry())
+        fused = self.fused_ir()
+        assert backends["python"].check(fused).legal

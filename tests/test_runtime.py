@@ -282,88 +282,112 @@ class TestAdnMrpcStack:
 
 
 class TestFusion:
-    """Cross-element fusion (paper Q2): one module dispatch per fused
-    segment instead of one per element."""
+    """Cross-element fusion (paper Q2): the fuse_elements IR pass merges
+    adjacent compatible elements into one, so a fused chain pays a single
+    module dispatch where the unfused chain pays one per element."""
 
-    def test_fused_segment_cheaper(self):
-        chain, registry = build_chain("Logging", "Acl", "Fault")
+    @staticmethod
+    def build_fusable(*names, fusion, seed=7):
+        import random
+
+        from repro.ir.optimizer import OptimizerOptions
+
+        registry = FunctionRegistry(rng=random.Random(seed))
+        program = load_stdlib(schema=SCHEMA)
+        compiler = AdnCompiler(
+            registry=registry, options=OptimizerOptions(fusion=fusion)
+        )
+        decl = ChainDecl(src="A", dst="B", elements=tuple(names))
+        return compiler.compile_chain(decl, program, SCHEMA), registry
+
+    def run_cost(self, chain, registry):
         sim = Simulator()
         cluster = two_machine_cluster(sim)
-        plain = PlacementSegment(
+        segment = PlacementSegment(
             platform=Platform.MRPC,
             machine="client-host",
             elements=chain.element_order,
+            stages=chain.ir.stages,
         )
-        fused = PlacementSegment(
-            platform=Platform.MRPC,
-            machine="server-host",
-            elements=chain.element_order,
-            fused=True,
-        )
-        plain_proc = ProcessorRuntime(sim, cluster, plain, chain, registry)
-        fused_proc = ProcessorRuntime(sim, cluster, fused, chain, registry)
+        processor = ProcessorRuntime(sim, cluster, segment, chain, registry)
         rpc = make_request(
             SCHEMA, "A.0", "B", payload=b"x", username="usr2", obj_id=1
         )
-        plain_cost = plain_proc._run_functionally("request", dict(rpc)).cpu_us
-        fused_cost = fused_proc._run_functionally("request", dict(rpc)).cpu_us
-        # exactly two dispatches saved (3 elements -> 1 dispatch)
-        saved = plain_cost - fused_cost
+        result = processor._run_functionally("request", dict(rpc))
+        return result, cluster
+
+    def test_fused_chain_cheaper(self):
+        reset_rpc_ids()
+        plain_chain, plain_reg = self.build_fusable(
+            "Logging", "Acl", "Fault", fusion=False
+        )
+        fused_chain, fused_reg = self.build_fusable(
+            "Logging", "Acl", "Fault", fusion=True
+        )
+        plain, cluster = self.run_cost(plain_chain, plain_reg)
+        fused, _ = self.run_cost(fused_chain, fused_reg)
+        # seeded registries: both runs see the same rand() stream, so the
+        # request survives (or drops) identically in both
+        assert plain.dropped_by is None and fused.dropped_by is None
+        # exactly two dispatches saved (3 elements -> 1 dispatch); the
+        # handler work itself is identical by construction
+        saved = plain.cpu_us - fused.cpu_us
         assert saved == pytest.approx(
             2 * cluster.costs.element_dispatch_us, rel=0.01
         )
 
     def test_single_element_fusion_is_noop(self):
-        chain, registry = build_chain("Acl")
-        sim = Simulator()
-        cluster = two_machine_cluster(sim)
-        plain = PlacementSegment(
-            platform=Platform.MRPC, machine="client-host",
-            elements=chain.element_order,
-        )
-        fused = PlacementSegment(
-            platform=Platform.MRPC, machine="server-host",
-            elements=chain.element_order, fused=True,
-        )
-        rpc = make_request(
-            SCHEMA, "A.0", "B", payload=b"x", username="usr2", obj_id=1
-        )
-        plain_cost = ProcessorRuntime(
-            sim, cluster, plain, chain, registry
-        )._run_functionally("request", dict(rpc)).cpu_us
-        fused_cost = ProcessorRuntime(
-            sim, cluster, fused, chain, registry
-        )._run_functionally("request", dict(rpc)).cpu_us
-        assert fused_cost == pytest.approx(plain_cost)
+        reset_rpc_ids()
+        plain_chain, plain_reg = self.build_fusable("Acl", fusion=False)
+        fused_chain, fused_reg = self.build_fusable("Acl", fusion=True)
+        assert fused_chain.element_order == plain_chain.element_order
+        plain, _ = self.run_cost(plain_chain, plain_reg)
+        fused, _ = self.run_cost(fused_chain, fused_reg)
+        assert fused.cpu_us == pytest.approx(plain.cpu_us)
 
-    def test_solver_fuse_flag(self):
+    def test_fusion_merges_compatible_run(self):
+        plain_chain, _ = self.build_fusable(
+            "Logging", "Acl", "Fault", fusion=False
+        )
+        fused_chain, _ = self.build_fusable(
+            "Logging", "Acl", "Fault", fusion=True
+        )
+        assert len(plain_chain.element_order) == 3
+        assert len(fused_chain.element_order) == 1
+        (fused_name,) = fused_chain.element_order
+        fused_ir = fused_chain.elements[fused_name].ir
+        members = fused_ir.meta["fused_from"]
+        assert sorted(members) == sorted(plain_chain.element_order)
+        # the fused element still places: the solver treats it as one
+        # ordinary element
         from repro.control import PlacementRequest, solve_placement
 
-        chain, _registry = build_chain("Logging", "Acl", "Fault")
         plan = solve_placement(
-            PlacementRequest(chain=chain, schema=SCHEMA, fuse_segments=True)
+            PlacementRequest(chain=fused_chain, schema=SCHEMA)
         )
-        assert all(seg.fused for seg in plan.segments)
-        plan_plain = solve_placement(
-            PlacementRequest(chain=chain, schema=SCHEMA)
-        )
-        assert not any(seg.fused for seg in plan_plain.segments)
+        placed = [name for seg in plan.segments for name in seg.elements]
+        assert placed == [fused_name]
 
     def test_fusion_preserves_behaviour(self):
-        reset_rpc_ids()
-        chain, registry = build_chain("Logging", "Acl", "Fault")
-        from repro.control import PlacementRequest, solve_placement
+        def run(fusion):
+            reset_rpc_ids()
+            chain, registry = self.build_fusable(
+                "Logging", "Acl", "Fault", fusion=fusion, seed=42
+            )
+            sim = Simulator()
+            cluster = two_machine_cluster(sim)
+            stack = AdnMrpcStack(sim, cluster, chain, SCHEMA, registry)
+            client = ClosedLoopClient(
+                sim, stack.call, concurrency=8, total_rpcs=300
+            )
+            return client.run()
 
-        plan = solve_placement(
-            PlacementRequest(chain=chain, schema=SCHEMA, fuse_segments=True)
-        )
-        sim = Simulator()
-        cluster = two_machine_cluster(sim)
-        stack = AdnMrpcStack(sim, cluster, chain, SCHEMA, registry, plan=plan)
-        client = ClosedLoopClient(sim, stack.call, concurrency=8, total_rpcs=300)
-        metrics = client.run()
-        assert metrics.completed == 300
-        assert 5 <= metrics.aborted <= 60
+        plain = run(False)
+        fused = run(True)
+        assert plain.completed == fused.completed == 300
+        # same seeded rand() stream -> identical drop decisions
+        assert fused.aborted == plain.aborted
+        assert 5 <= fused.aborted <= 60
 
 
 class TestVirtualL2Integration:
