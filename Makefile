@@ -16,6 +16,8 @@ lint:
 	@# been bitten by before; keep the tree free of it
 	@! grep -rn --include='*.py' -E '^\s*del [a-z_]+$$' src/ \
 	    || (echo 'dead `del` statements found in src/' && exit 1)
+	PYTHONPATH=src $(PYTHON) -m repro lint $(wildcard examples/*.adn) \
+	    --stdlib --fail-on error
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s

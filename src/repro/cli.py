@@ -16,6 +16,7 @@ The RPC schema is given as repeated ``--field name:type`` options
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -60,8 +61,32 @@ def _load(path: str, schema: RpcSchema, include_stdlib: bool = True):
 
 def cmd_check(args) -> int:
     schema = _schema_from_args(args.field)
-    program = _load(args.file, schema, include_stdlib=not args.no_stdlib)
-    own = parse(open(args.file).read())
+    try:
+        program = _load(args.file, schema, include_stdlib=not args.no_stdlib)
+        own = parse(open(args.file).read())
+    except AdnError as error:
+        if args.format == "json":
+            print(json.dumps({
+                "file": args.file,
+                "ok": False,
+                "error": {
+                    "message": str(error),
+                    "line": getattr(error, "line", 0),
+                    "column": getattr(error, "column", 0),
+                },
+            }, indent=2))
+        else:
+            print(f"{args.file}: error: {error}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps({
+            "file": args.file,
+            "ok": True,
+            "elements": sorted(own.elements),
+            "filters": sorted(own.filters),
+            "apps": sorted(own.apps),
+        }, indent=2))
+        return 0
     print(f"{args.file}: OK")
     print(
         f"  elements: {len(own.elements)}  filters: {len(own.filters)}  "
@@ -89,6 +114,64 @@ def cmd_check(args) -> int:
                 f"[{', '.join(flags) or 'pure'}]"
             )
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .lint import LintOptions, Severity, lint_file, lint_source
+
+    schema = _schema_from_args(args.field) if args.field else None
+    cluster = ClusterSpec(
+        smartnics=args.smartnics,
+        programmable_switch=args.switch,
+        kernel_offload=not args.no_kernel,
+        sidecars_available=not args.no_sidecars,
+        engine_available=not args.no_engine,
+    )
+    options = LintOptions(
+        schema=schema,
+        include_stdlib=not args.no_stdlib,
+        cluster=cluster,
+    )
+    threshold = Severity.from_name(args.fail_on)
+    results = []
+    for path in args.files:
+        results.append(lint_file(path, options))
+    if args.stdlib:
+        from .dsl.stdlib import STDLIB_SOURCES
+
+        for name in sorted(STDLIB_SOURCES):
+            results.append(
+                lint_source(
+                    STDLIB_SOURCES[name],
+                    path=f"<stdlib:{name}>",
+                    options=options,
+                )
+            )
+    failed = False
+    total = 0
+    if args.format == "json":
+        payload = []
+        for result in results:
+            payload.append({
+                "path": result.path,
+                "diagnostics": [d.to_dict() for d in result.diagnostics],
+                "fails": result.fails(threshold),
+            })
+            failed = failed or result.fails(threshold)
+            total += len(result.diagnostics)
+        print(json.dumps(payload, indent=2))
+    else:
+        for result in results:
+            for diagnostic in result.diagnostics:
+                print(diagnostic.format_text())
+            failed = failed or result.fails(threshold)
+            total += len(result.diagnostics)
+        files = len(results)
+        print(
+            f"{total} finding(s) in {files} file(s) "
+            f"(fail threshold: {threshold.value})"
+        )
+    return 1 if failed else 0
 
 
 def cmd_fmt(args) -> int:
@@ -283,8 +366,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-element analyses")
     check.add_argument("--no-stdlib", action="store_true",
                        help="do not merge the standard element library")
+    check.add_argument("--format", choices=["text", "json"], default="text")
     add_fields(check)
     check.set_defaults(func=cmd_check)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: state races, dead state, placement"
+    )
+    lint.add_argument("files", nargs="*", metavar="FILE")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--fail-on", choices=["error", "warning", "hint"], default="error",
+        help="exit nonzero when any finding is at least this severe",
+    )
+    lint.add_argument("--no-stdlib", action="store_true",
+                      help="do not resolve chain references via the stdlib")
+    lint.add_argument("--stdlib", action="store_true",
+                      help="also lint every standard-library element")
+    lint.add_argument("--smartnics", action="store_true")
+    lint.add_argument("--switch", action="store_true")
+    lint.add_argument("--no-kernel", action="store_true",
+                      help="cluster has no kernel offload")
+    lint.add_argument("--no-sidecars", action="store_true",
+                      help="cluster has no sidecar proxies")
+    lint.add_argument("--no-engine", action="store_true",
+                      help="cluster has no userspace engine (proxyless)")
+    add_fields(lint)
+    lint.set_defaults(func=cmd_lint)
 
     fmt = sub.add_parser("fmt", help="pretty-print a DSL file")
     fmt.add_argument("file")

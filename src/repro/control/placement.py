@@ -61,6 +61,9 @@ class ClusterSpec:
     programmable_switch: bool = False
     kernel_offload: bool = True
     sidecars_available: bool = True
+    #: the mRPC-style userspace engine is deployed on the hosts; without
+    #: it, elements that cannot run in-app or on an offload have no home
+    engine_available: bool = True
 
     def machine_for(self, side: str) -> str:
         if side == "client":
@@ -138,6 +141,11 @@ class PlacementSolver:
             if (
                 platform is Platform.SIDECAR
                 and not self.request.cluster.sidecars_available
+            ):
+                continue
+            if (
+                platform is Platform.MRPC
+                and not self.request.cluster.engine_available
             ):
                 continue
             if platform.in_app_binary and self._must_leave_app(name):

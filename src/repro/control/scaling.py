@@ -12,8 +12,9 @@ requests are delayed, never dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Generator, List, Optional, Sequence, Tuple
 
+from ..ir.replication import ReplicationSafety
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
 from ..state.migration import MigrationReport, MigrationTiming, Migrator
@@ -21,14 +22,16 @@ from ..state.migration import MigrationReport, MigrationTiming, Migrator
 
 @dataclass
 class ScalingEvent:
-    """One scaling action taken by the autoscaler."""
+    """One scaling action taken (or refused) by the autoscaler."""
 
     at_s: float
-    action: str  # "scale_out" | "scale_in"
+    action: str  # "scale_out" | "scale_in" | "refused_out"
     capacity_before: int
     capacity_after: int
     utilization: float
     migration: Optional[MigrationReport] = None
+    #: why a scale-out was refused (replication-safety verdicts)
+    reasons: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -49,6 +52,14 @@ class Autoscaler:
     ``stateful_tables`` lists the state tables that must be split/merged
     when capacity changes (the controller passes the keyed tables of the
     elements hosted on the processor).
+
+    ``safety`` carries the hosted elements' replication-safety verdicts
+    (``analysis.replication``). When any hosted element is not shardable
+    — it holds read-modify-write state that key-partitioning cannot
+    isolate — the autoscaler refuses to add replicas: scale-out would
+    silently change semantics (each replica would see a fraction of the
+    element's history). Refusals are recorded as ``refused_out`` events
+    with the blocking reasons. Scale-in is always allowed.
     """
 
     def __init__(
@@ -58,11 +69,13 @@ class Autoscaler:
         config: Optional[AutoscalerConfig] = None,
         stateful_tables: Optional[List] = None,
         migration_timing: Optional[MigrationTiming] = None,
+        safety: Optional[Sequence[ReplicationSafety]] = None,
     ):
         self.sim = sim
         self.resource = resource
         self.config = config or AutoscalerConfig()
         self.stateful_tables = stateful_tables or []
+        self.safety = list(safety or [])
         self.migrator = Migrator(sim, migration_timing)
         self.events: List[ScalingEvent] = []
         self._last_busy = 0.0
@@ -98,6 +111,10 @@ class Autoscaler:
                 utilization > self.config.high_watermark
                 and self.resource.capacity < self.config.max_capacity
             ):
+                blockers = self._scale_out_blockers()
+                if blockers:
+                    self._refuse_scale_out(utilization, blockers)
+                    continue
                 yield from self._scale(utilization, out=True)
             elif (
                 utilization < self.config.low_watermark
@@ -150,6 +167,34 @@ class Autoscaler:
                 migration=migration,
             )
         )
+
+    def _scale_out_blockers(self) -> List[str]:
+        """Replication-safety reasons that forbid adding a replica."""
+        reasons: List[str] = []
+        for verdict in self.safety:
+            if verdict.shardable:
+                continue
+            for reason in verdict.reasons():
+                reasons.append(f"element {verdict.element!r}: {reason}")
+        return reasons
+
+    def _refuse_scale_out(
+        self, utilization: float, reasons: List[str]
+    ) -> None:
+        capacity = self.resource.capacity
+        self.events.append(
+            ScalingEvent(
+                at_s=self.sim.now,
+                action="refused_out",
+                capacity_before=capacity,
+                capacity_after=capacity,
+                utilization=utilization,
+                reasons=tuple(reasons),
+            )
+        )
+        # refusals honour the cooldown too, so a saturated processor does
+        # not spam one refusal per sample
+        self._last_action_at = self.sim.now
 
     @property
     def scale_out_count(self) -> int:

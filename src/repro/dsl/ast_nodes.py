@@ -12,6 +12,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from .schema import FieldType
+from .span import Span
+
+#: Shared declaration for the source-position metadata field. ``compare=
+#: False`` keeps spans out of equality/hashing (structural identity must
+#: survive pretty-printing); ``kw_only`` lets every node inherit it from
+#: its base class without disturbing positional constructors.
+def _span_field():
+    return field(default=None, compare=False, kw_only=True)
 
 # --------------------------------------------------------------------------
 # Expressions
@@ -20,7 +28,10 @@ from .schema import FieldType
 
 @dataclass(frozen=True)
 class Expr:
-    """Base class for expression nodes."""
+    """Base class for expression nodes. ``span`` is the source position
+    of the expression's first token (None for synthesized nodes)."""
+
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -93,7 +104,10 @@ class CaseExpr(Expr):
 
 @dataclass(frozen=True)
 class Statement:
-    """Base class for statement nodes."""
+    """Base class for statement nodes. ``span`` points at the statement's
+    leading keyword in the source (None for synthesized nodes)."""
+
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -182,6 +196,7 @@ class ColumnDef:
     name: str
     type: FieldType
     is_key: bool = False
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -195,6 +210,7 @@ class StateDecl:
     name: str
     columns: Tuple[ColumnDef, ...]
     append_only: bool = False
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -204,6 +220,7 @@ class VarDecl:
     name: str
     type: FieldType
     init: Literal
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -212,6 +229,7 @@ class Handler:
 
     kind: str  # "request" | "response"
     statements: Tuple[Statement, ...]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -224,6 +242,7 @@ class ElementDef:
     vars: Tuple[VarDecl, ...] = ()
     init: Tuple[Statement, ...] = ()
     handlers: Tuple[Handler, ...] = ()
+    span: Optional[Span] = _span_field()
 
     def handler(self, kind: str) -> Optional[Handler]:
         for handler in self.handlers:
@@ -249,6 +268,7 @@ class FilterDef:
     name: str
     operator: str
     meta: Dict[str, object] = field(default_factory=dict)
+    span: Optional[Span] = _span_field()
 
     def __hash__(self) -> int:
         return hash((self.name, self.operator))
@@ -265,6 +285,7 @@ class ServiceDecl:
 
     name: str
     replicas: int = 1
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -274,6 +295,7 @@ class ChainDecl:
     src: str
     dst: str
     elements: Tuple[str, ...]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -287,6 +309,7 @@ class ConstraintDecl:
 
     kind: str
     args: Tuple[str, ...]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -306,6 +329,7 @@ class AppDef:
     chains: Tuple[ChainDecl, ...] = ()
     constraints: Tuple[ConstraintDecl, ...] = ()
     guarantees: GuaranteeDecl = GuaranteeDecl()
+    span: Optional[Span] = _span_field()
 
     def service(self, name: str) -> Optional[ServiceDecl]:
         for svc in self.services:

@@ -59,6 +59,7 @@ from .ast_nodes import (
 )
 from .lexer import tokenize
 from .schema import FieldType
+from .span import Span
 from .tokens import Token, TokenType
 
 _TYPE_KEYWORDS = {"STR", "INT", "FLOAT", "BOOL", "BYTES"}
@@ -131,6 +132,14 @@ class Parser:
             return True
         return False
 
+    @staticmethod
+    def _span(token: Token) -> Span:
+        return Span(token.line, token.column)
+
+    @property
+    def _here(self) -> Span:
+        return self._span(self._current)
+
     # -- entry point -------------------------------------------------------
 
     def parse_program(self) -> Program:
@@ -160,6 +169,7 @@ class Parser:
     # -- element -----------------------------------------------------------
 
     def parse_element(self) -> ElementDef:
+        span = self._here
         self._expect_keyword("ELEMENT")
         name = self._expect_ident()
         self._expect(TokenType.LBRACE)
@@ -193,6 +203,7 @@ class Parser:
             vars=tuple(variables),
             init=init,
             handlers=tuple(handlers),
+            span=span,
         )
 
     def _parse_meta_block(self) -> Dict[str, object]:
@@ -230,24 +241,32 @@ class Parser:
         raise self._error("expected literal meta value")
 
     def _parse_state_decl(self) -> StateDecl:
+        span = self._here
         self._expect_keyword("STATE")
         name = self._expect_ident()
         self._expect(TokenType.LPAREN)
         columns: List[ColumnDef] = []
         while True:
+            col_span = self._here
             col_name = self._expect_ident()
             self._expect(TokenType.COLON)
             col_type = self._parse_type()
             is_key = self._match_keyword("KEY")
-            columns.append(ColumnDef(col_name, col_type, is_key))
+            columns.append(ColumnDef(col_name, col_type, is_key, span=col_span))
             if not self._match(TokenType.COMMA):
                 break
         self._expect(TokenType.RPAREN)
         append_only = self._match_keyword("APPEND")
         self._expect(TokenType.SEMICOLON)
-        return StateDecl(name=name, columns=tuple(columns), append_only=append_only)
+        return StateDecl(
+            name=name,
+            columns=tuple(columns),
+            append_only=append_only,
+            span=span,
+        )
 
     def _parse_var_decl(self) -> VarDecl:
+        span = self._here
         self._expect_keyword("VAR")
         name = self._expect_ident()
         self._expect(TokenType.COLON)
@@ -255,7 +274,7 @@ class Parser:
         self._expect(TokenType.EQ)
         init = self._parse_literal()
         self._expect(TokenType.SEMICOLON)
-        return VarDecl(name=name, type=var_type, init=init)
+        return VarDecl(name=name, type=var_type, init=init, span=span)
 
     def _parse_type(self) -> FieldType:
         token = self._current
@@ -266,31 +285,33 @@ class Parser:
 
     def _parse_literal(self) -> Literal:
         token = self._current
+        span = self._span(token)
         if token.type is TokenType.STRING:
             self._advance()
-            return Literal(token.value)
+            return Literal(token.value, span=span)
         if token.type is TokenType.INT:
             self._advance()
-            return Literal(int(token.value))
+            return Literal(int(token.value), span=span)
         if token.type is TokenType.FLOAT:
             self._advance()
-            return Literal(float(token.value))
+            return Literal(float(token.value), span=span)
         if token.is_keyword("TRUE"):
             self._advance()
-            return Literal(True)
+            return Literal(True, span=span)
         if token.is_keyword("FALSE"):
             self._advance()
-            return Literal(False)
+            return Literal(False, span=span)
         if token.is_keyword("NULL"):
             self._advance()
-            return Literal(None)
+            return Literal(None, span=span)
         if token.type is TokenType.MINUS:
             self._advance()
             inner = self._parse_literal()
-            return Literal(-inner.value)  # type: ignore[operator]
+            return Literal(-inner.value, span=span)  # type: ignore[operator]
         raise self._error("expected literal")
 
     def _parse_handler(self) -> Handler:
+        span = self._here
         self._advance()  # 'on'
         kind_token = self._current
         kind = self._expect_ident()
@@ -301,7 +322,7 @@ class Parser:
                 kind_token.column,
             )
         statements = self._parse_stmt_block()
-        return Handler(kind=kind, statements=statements)
+        return Handler(kind=kind, statements=statements, span=span)
 
     def _parse_stmt_block(self) -> Tuple[Statement, ...]:
         self._expect(TokenType.LBRACE)
@@ -326,7 +347,13 @@ class Parser:
             return self._parse_set()
         raise self._error("expected SELECT, INSERT, UPDATE, DELETE, or SET")
 
-    def _parse_select(self, into: Optional[str], terminated: bool = True) -> SelectStmt:
+    def _parse_select(
+        self,
+        into: Optional[str],
+        terminated: bool = True,
+        span: Optional[Span] = None,
+    ) -> SelectStmt:
+        span = span or self._here
         self._expect_keyword("SELECT")
         items: List[object] = [self._parse_select_item()]
         while self._match(TokenType.COMMA):
@@ -347,6 +374,7 @@ class Parser:
             joins=tuple(joins),
             where=where,
             into=into,
+            span=span,
         )
 
     def _parse_select_item(self) -> object:
@@ -370,6 +398,7 @@ class Parser:
         return SelectItem(expr=expr, alias=alias)
 
     def _parse_insert(self) -> Statement:
+        span = self._here
         self._expect_keyword("INSERT")
         self._expect_keyword("INTO")
         table = self._expect_ident()
@@ -386,12 +415,13 @@ class Parser:
                 if not self._match(TokenType.COMMA):
                     break
             self._expect(TokenType.SEMICOLON)
-            return InsertValues(table=table, rows=tuple(rows))
+            return InsertValues(table=table, rows=tuple(rows), span=span)
         if self._current.is_keyword("SELECT"):
-            return self._parse_select(into=table)
+            return self._parse_select(into=table, span=span)
         raise self._error("expected VALUES or SELECT after INSERT INTO")
 
     def _parse_update(self) -> UpdateStmt:
+        span = self._here
         self._expect_keyword("UPDATE")
         table = self._expect_ident()
         self._expect_keyword("SET")
@@ -404,24 +434,28 @@ class Parser:
                 break
         where = self.parse_expr() if self._match_keyword("WHERE") else None
         self._expect(TokenType.SEMICOLON)
-        return UpdateStmt(table=table, assignments=tuple(assignments), where=where)
+        return UpdateStmt(
+            table=table, assignments=tuple(assignments), where=where, span=span
+        )
 
     def _parse_delete(self) -> DeleteStmt:
+        span = self._here
         self._expect_keyword("DELETE")
         self._expect_keyword("FROM")
         table = self._expect_ident()
         where = self.parse_expr() if self._match_keyword("WHERE") else None
         self._expect(TokenType.SEMICOLON)
-        return DeleteStmt(table=table, where=where)
+        return DeleteStmt(table=table, where=where, span=span)
 
     def _parse_set(self) -> SetStmt:
+        span = self._here
         self._expect_keyword("SET")
         var = self._expect_ident()
         self._expect(TokenType.EQ)
         expr = self.parse_expr()
         where = self.parse_expr() if self._match_keyword("WHERE") else None
         self._expect(TokenType.SEMICOLON)
-        return SetStmt(var=var, expr=expr, where=where)
+        return SetStmt(var=var, expr=expr, where=where, span=span)
 
     # -- expressions ---------------------------------------------------------
 
@@ -432,34 +466,35 @@ class Parser:
         left = self._parse_and()
         while self._current.is_keyword("OR"):
             self._advance()
-            left = BinaryOp("or", left, self._parse_and())
+            left = BinaryOp("or", left, self._parse_and(), span=left.span)
         return left
 
     def _parse_and(self) -> Expr:
         left = self._parse_not()
         while self._current.is_keyword("AND"):
             self._advance()
-            left = BinaryOp("and", left, self._parse_not())
+            left = BinaryOp("and", left, self._parse_not(), span=left.span)
         return left
 
     def _parse_not(self) -> Expr:
         if self._current.is_keyword("NOT"):
+            span = self._here
             self._advance()
-            return UnaryOp("not", self._parse_not())
+            return UnaryOp("not", self._parse_not(), span=span)
         return self._parse_comparison()
 
     def _parse_comparison(self) -> Expr:
         left = self._parse_additive()
         if self._current.type in _COMPARISON_OPS:
             op = _COMPARISON_OPS[self._advance().type]
-            return BinaryOp(op, left, self._parse_additive())
+            return BinaryOp(op, left, self._parse_additive(), span=left.span)
         return left
 
     def _parse_additive(self) -> Expr:
         left = self._parse_multiplicative()
         while self._current.type in (TokenType.PLUS, TokenType.MINUS):
             op = self._advance().value
-            left = BinaryOp(op, left, self._parse_multiplicative())
+            left = BinaryOp(op, left, self._parse_multiplicative(), span=left.span)
         return left
 
     def _parse_multiplicative(self) -> Expr:
@@ -470,11 +505,12 @@ class Parser:
             TokenType.PERCENT,
         ):
             op = self._advance().value
-            left = BinaryOp(op, left, self._parse_unary())
+            left = BinaryOp(op, left, self._parse_unary(), span=left.span)
         return left
 
     def _parse_unary(self) -> Expr:
         if self._current.type is TokenType.MINUS:
+            span = self._here
             self._advance()
             operand = self._parse_unary()
             # fold numeric negation so '-1' is Literal(-1), keeping the
@@ -482,8 +518,8 @@ class Parser:
             if isinstance(operand, Literal) and isinstance(
                 operand.value, (int, float)
             ) and not isinstance(operand.value, bool):
-                return Literal(-operand.value)
-            return UnaryOp("-", operand)
+                return Literal(-operand.value, span=span)
+            return UnaryOp("-", operand, span=span)
         return self._parse_primary()
 
     def _parse_primary(self) -> Expr:
@@ -502,6 +538,7 @@ class Parser:
             self._expect(TokenType.RPAREN)
             return inner
         if token.type is TokenType.IDENT or token.type is TokenType.KEYWORD:
+            span = self._span(token)
             name = self._expect_ident()
             if self._current.type is TokenType.LPAREN:
                 self._advance()
@@ -511,14 +548,15 @@ class Parser:
                     while self._match(TokenType.COMMA):
                         args.append(self.parse_expr())
                 self._expect(TokenType.RPAREN)
-                return FuncCall(name=name, args=tuple(args))
+                return FuncCall(name=name, args=tuple(args), span=span)
             if self._match(TokenType.DOT):
                 column = self._expect_ident()
-                return ColumnRef(table=name, name=column)
-            return ColumnRef(table=None, name=name)
+                return ColumnRef(table=name, name=column, span=span)
+            return ColumnRef(table=None, name=name, span=span)
         raise self._error("expected expression")
 
     def _parse_case(self) -> CaseExpr:
+        span = self._here
         self._expect_keyword("CASE")
         whens: List[Tuple[Expr, Expr]] = []
         while self._match_keyword("WHEN"):
@@ -529,11 +567,12 @@ class Parser:
             raise self._error("CASE requires at least one WHEN")
         default = self.parse_expr() if self._match_keyword("ELSE") else None
         self._expect_keyword("END")
-        return CaseExpr(whens=tuple(whens), default=default)
+        return CaseExpr(whens=tuple(whens), default=default, span=span)
 
     # -- filters & apps --------------------------------------------------------
 
     def parse_filter(self) -> FilterDef:
+        span = self._here
         self._expect_keyword("FILTER")
         name = self._expect_ident()
         self._expect(TokenType.LBRACE)
@@ -550,9 +589,10 @@ class Parser:
                 raise self._error("expected 'meta' or 'use operator' in filter")
         if operator is None:
             raise self._error(f"filter {name!r} must declare 'use operator'")
-        return FilterDef(name=name, operator=operator, meta=meta)
+        return FilterDef(name=name, operator=operator, meta=meta, span=span)
 
     def parse_app(self) -> AppDef:
+        span = self._here
         self._expect_keyword("APP")
         name = self._expect_ident()
         self._expect(TokenType.LBRACE)
@@ -562,14 +602,20 @@ class Parser:
         reliable = False
         ordered = False
         while not self._match(TokenType.RBRACE):
-            if self._match_keyword("SERVICE"):
+            if self._current.is_keyword("SERVICE"):
+                svc_span = self._here
+                self._advance()
                 svc_name = self._expect_ident()
                 replicas = 1
                 if self._match_keyword("REPLICAS"):
                     replicas = int(self._expect(TokenType.INT).value)
                 self._expect(TokenType.SEMICOLON)
-                services.append(ServiceDecl(name=svc_name, replicas=replicas))
-            elif self._match_keyword("CHAIN"):
+                services.append(
+                    ServiceDecl(name=svc_name, replicas=replicas, span=svc_span)
+                )
+            elif self._current.is_keyword("CHAIN"):
+                chain_span = self._here
+                self._advance()
                 src = self._expect_ident()
                 self._expect(TokenType.ARROW)
                 dst = self._expect_ident()
@@ -580,7 +626,11 @@ class Parser:
                     while self._match(TokenType.COMMA):
                         names.append(self._expect_ident())
                 self._expect(TokenType.RBRACE)
-                chains.append(ChainDecl(src=src, dst=dst, elements=tuple(names)))
+                chains.append(
+                    ChainDecl(
+                        src=src, dst=dst, elements=tuple(names), span=chain_span
+                    )
+                )
             elif self._match_keyword("CONSTRAIN"):
                 constraints.append(self._parse_constraint())
             elif self._match_keyword("GUARANTEE"):
@@ -601,9 +651,11 @@ class Parser:
             chains=tuple(chains),
             constraints=tuple(constraints),
             guarantees=GuaranteeDecl(reliable=reliable, ordered=ordered),
+            span=span,
         )
 
     def _parse_constraint(self) -> ConstraintDecl:
+        span = self._here
         subject = self._expect_ident()
         if self._match_keyword("COLOCATE"):
             if self._match_keyword("SENDER"):
@@ -613,18 +665,18 @@ class Parser:
             else:
                 raise self._error("expected 'sender' or 'receiver'")
             self._expect(TokenType.SEMICOLON)
-            return ConstraintDecl(kind="colocate", args=(subject, side))
+            return ConstraintDecl(kind="colocate", args=(subject, side), span=span)
         if self._match_keyword("OUTSIDE_APP"):
             self._expect(TokenType.SEMICOLON)
-            return ConstraintDecl(kind="outside_app", args=(subject,))
+            return ConstraintDecl(kind="outside_app", args=(subject,), span=span)
         if self._match_keyword("BEFORE"):
             other = self._expect_ident()
             self._expect(TokenType.SEMICOLON)
-            return ConstraintDecl(kind="before", args=(subject, other))
+            return ConstraintDecl(kind="before", args=(subject, other), span=span)
         if self._match_keyword("AFTER"):
             other = self._expect_ident()
             self._expect(TokenType.SEMICOLON)
-            return ConstraintDecl(kind="after", args=(subject, other))
+            return ConstraintDecl(kind="after", args=(subject, other), span=span)
         raise self._error(
             "expected 'colocate', 'outside_app', 'before', or 'after'"
         )

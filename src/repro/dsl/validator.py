@@ -75,6 +75,15 @@ KNOWN_META_KEYS = frozenset(
     }
 )
 
+def _verr(message: str, node: object = None) -> DslValidationError:
+    """A DslValidationError pointing at ``node``'s source span, when the
+    node carries one (parser-produced nodes do; synthesized nodes don't)."""
+    span = getattr(node, "span", None)
+    if span is not None:
+        return DslValidationError(message, span.line, span.column)
+    return DslValidationError(message)
+
+
 _NUMERIC = (FieldType.INT, FieldType.FLOAT)
 _KNOWN_OPERATORS = frozenset(
     {
@@ -144,7 +153,11 @@ class ElementValidator:
             self._check_init_statement(stmt)
         self._check_handlers()
         new_handlers = tuple(
-            Handler(h.kind, tuple(self._validate_statement(s) for s in h.statements))
+            Handler(
+                h.kind,
+                tuple(self._validate_statement(s) for s in h.statements),
+                span=h.span,
+            )
             for h in self.element.handlers
         )
         new_init = tuple(self._resolve_statement(s) for s in self.element.init)
@@ -155,29 +168,32 @@ class ElementValidator:
     def _check_meta(self) -> None:
         for key in self.element.meta:
             if key not in KNOWN_META_KEYS:
-                raise DslValidationError(
-                    f"element {self.element.name!r}: unknown meta key {key!r}"
+                raise _verr(
+                    f"element {self.element.name!r}: unknown meta key {key!r}",
+                    self.element,
                 )
         position = self.element.meta.get("position", "any")
         if position not in ("sender", "receiver", "any"):
-            raise DslValidationError(
+            raise _verr(
                 f"element {self.element.name!r}: position must be "
-                f"sender/receiver/any, got {position!r}"
+                f"sender/receiver/any, got {position!r}",
+                self.element,
             )
 
     def _collect_states(self) -> None:
         for decl in self.element.states:
             if decl.name in ("input", "output"):
-                raise DslValidationError(
-                    f"state table may not be named {decl.name!r}"
+                raise _verr(
+                    f"state table may not be named {decl.name!r}", decl
                 )
             if decl.name in self._table_columns:
-                raise DslValidationError(f"duplicate state table {decl.name!r}")
+                raise _verr(f"duplicate state table {decl.name!r}", decl)
             columns: Dict[str, FieldType] = {}
             for col in decl.columns:
                 if col.name in columns:
-                    raise DslValidationError(
-                        f"duplicate column {col.name!r} in table {decl.name!r}"
+                    raise _verr(
+                        f"duplicate column {col.name!r} in table {decl.name!r}",
+                        col,
                     )
                 columns[col.name] = col.type
             self._table_columns[decl.name] = columns
@@ -187,15 +203,16 @@ class ElementValidator:
     def _collect_vars(self) -> None:
         for decl in self.element.vars:
             if decl.name in self._var_types:
-                raise DslValidationError(f"duplicate var {decl.name!r}")
+                raise _verr(f"duplicate var {decl.name!r}", decl)
             if decl.name in self._table_columns:
-                raise DslValidationError(
-                    f"var {decl.name!r} collides with a state table"
+                raise _verr(
+                    f"var {decl.name!r} collides with a state table", decl
                 )
             if decl.init.value is not None and not decl.type.accepts(decl.init.value):
-                raise DslValidationError(
+                raise _verr(
                     f"var {decl.name!r}: initializer {decl.init.value!r} is not "
-                    f"a {decl.type.value}"
+                    f"a {decl.type.value}",
+                    decl,
                 )
             self._var_types[decl.name] = decl.type
 
@@ -203,14 +220,15 @@ class ElementValidator:
         seen: Set[str] = set()
         for handler in self.element.handlers:
             if handler.kind in seen:
-                raise DslValidationError(
+                raise _verr(
                     f"element {self.element.name!r}: duplicate "
-                    f"'on {handler.kind}' handler"
+                    f"'on {handler.kind}' handler",
+                    handler,
                 )
             seen.add(handler.kind)
         if not seen:
-            raise DslValidationError(
-                f"element {self.element.name!r} has no handlers"
+            raise _verr(
+                f"element {self.element.name!r} has no handlers", self.element
             )
 
     def _check_init_statement(self, stmt: Statement) -> None:
@@ -219,11 +237,11 @@ class ElementValidator:
             return
         if isinstance(stmt, (SelectStmt, SetStmt, UpdateStmt, DeleteStmt)):
             if isinstance(stmt, SelectStmt) and stmt.source == "input":
-                raise DslValidationError(
-                    "init block cannot read the input stream"
+                raise _verr(
+                    "init block cannot read the input stream", stmt
                 )
             return
-        raise DslValidationError(f"unsupported init statement {stmt!r}")
+        raise _verr(f"unsupported init statement {stmt!r}", stmt)
 
     # -- statement validation ----------------------------------------------
 
@@ -241,12 +259,13 @@ class ElementValidator:
             if table == "input":
                 continue
             if table not in self._table_columns:
-                raise DslValidationError(
-                    f"element {self.element.name!r}: unknown table {table!r}"
+                raise _verr(
+                    f"element {self.element.name!r}: unknown table {table!r}",
+                    stmt,
                 )
             if table in self._append_only:
-                raise DslValidationError(
-                    f"append-only table {table!r} cannot be read"
+                raise _verr(
+                    f"append-only table {table!r} cannot be read", stmt
                 )
             scope.tables[table] = self._table_columns[table]
         return scope
@@ -263,20 +282,22 @@ class ElementValidator:
             return self._validate_delete(stmt)
         if isinstance(stmt, SetStmt):
             return self._validate_set(stmt)
-        raise DslValidationError(f"unsupported statement {stmt!r}")
+        raise _verr(f"unsupported statement {stmt!r}", stmt)
 
     def _validate_select(self, stmt: SelectStmt) -> SelectStmt:
         if stmt.source != "input" and stmt.source not in self._table_columns:
-            raise DslValidationError(
-                f"element {self.element.name!r}: unknown source {stmt.source!r}"
+            raise _verr(
+                f"element {self.element.name!r}: unknown source {stmt.source!r}",
+                stmt,
             )
         scope = self._scope_for(stmt)
         new_items: List[object] = []
         for item in stmt.items:
             if isinstance(item, Star):
                 if item.table and item.table != "input" and item.table not in scope.tables:
-                    raise DslValidationError(
-                        f"'{item.table}.*' refers to a table not in FROM/JOIN"
+                    raise _verr(
+                        f"'{item.table}.*' refers to a table not in FROM/JOIN",
+                        stmt,
                     )
                 new_items.append(item)
             else:
@@ -299,55 +320,59 @@ class ElementValidator:
         for item in items:
             if isinstance(item, SelectItem) and item.alias:
                 if item.alias in META_FIELDS and item.alias not in WRITABLE_META_FIELDS:
-                    raise DslValidationError(
+                    raise _verr(
                         f"meta-field {item.alias!r} is read-only "
-                        f"(writable: {sorted(WRITABLE_META_FIELDS)})"
+                        f"(writable: {sorted(WRITABLE_META_FIELDS)})",
+                        item.expr,
                     )
 
     def _check_select_into(self, stmt: SelectStmt, items: List[object]) -> None:
         table = stmt.into
         if table not in self._table_columns:
-            raise DslValidationError(f"INSERT INTO unknown table {table!r}")
+            raise _verr(f"INSERT INTO unknown table {table!r}", stmt)
         columns = self._table_columns[table]
         # Star-projections into a table are only allowed if names line up;
         # explicit projections must cover the table's columns positionally.
         explicit = [i for i in items if isinstance(i, SelectItem)]
         has_star = any(isinstance(i, Star) for i in items)
         if not has_star and len(explicit) != len(columns):
-            raise DslValidationError(
+            raise _verr(
                 f"INSERT INTO {table!r}: {len(explicit)} expressions for "
-                f"{len(columns)} columns"
+                f"{len(columns)} columns",
+                stmt,
             )
 
     def _check_insert_values(self, stmt: InsertValues) -> None:
         if stmt.table not in self._table_columns:
-            raise DslValidationError(f"INSERT INTO unknown table {stmt.table!r}")
+            raise _verr(f"INSERT INTO unknown table {stmt.table!r}", stmt)
         columns = list(self._table_columns[stmt.table].items())
         for row in stmt.rows:
             if len(row) != len(columns):
-                raise DslValidationError(
+                raise _verr(
                     f"INSERT INTO {stmt.table!r}: row has {len(row)} values "
-                    f"for {len(columns)} columns"
+                    f"for {len(columns)} columns",
+                    stmt,
                 )
             for value_expr, (col_name, col_type) in zip(row, columns):
                 if not isinstance(value_expr, Literal):
-                    raise DslValidationError(
-                        "INSERT ... VALUES rows must be literals"
+                    raise _verr(
+                        "INSERT ... VALUES rows must be literals", stmt
                     )
                 if value_expr.value is not None and not col_type.accepts(
                     value_expr.value
                 ):
-                    raise DslValidationError(
+                    raise _verr(
                         f"column {col_name!r} of {stmt.table!r} expects "
-                        f"{col_type.value}, got {value_expr.value!r}"
+                        f"{col_type.value}, got {value_expr.value!r}",
+                        value_expr,
                     )
 
     def _validate_update(self, stmt: UpdateStmt) -> UpdateStmt:
         if stmt.table not in self._table_columns:
-            raise DslValidationError(f"UPDATE unknown table {stmt.table!r}")
+            raise _verr(f"UPDATE unknown table {stmt.table!r}", stmt)
         if stmt.table in self._append_only:
-            raise DslValidationError(
-                f"append-only table {stmt.table!r} cannot be updated"
+            raise _verr(
+                f"append-only table {stmt.table!r} cannot be updated", stmt
             )
         columns = self._table_columns[stmt.table]
         scope = Scope(
@@ -363,8 +388,8 @@ class ElementValidator:
         new_assignments: List[Tuple[str, Expr]] = []
         for column, expr in stmt.assignments:
             if column not in columns:
-                raise DslValidationError(
-                    f"UPDATE {stmt.table!r}: unknown column {column!r}"
+                raise _verr(
+                    f"UPDATE {stmt.table!r}: unknown column {column!r}", expr
                 )
             new_assignments.append((column, self._resolve_expr(expr, scope)))
         new_where = (
@@ -374,7 +399,7 @@ class ElementValidator:
 
     def _validate_delete(self, stmt: DeleteStmt) -> DeleteStmt:
         if stmt.table not in self._table_columns:
-            raise DslValidationError(f"DELETE FROM unknown table {stmt.table!r}")
+            raise _verr(f"DELETE FROM unknown table {stmt.table!r}", stmt)
         scope = Scope(
             input_fields=(
                 {n: s.type for n, s in self.schema.fields.items()}
@@ -392,7 +417,7 @@ class ElementValidator:
 
     def _validate_set(self, stmt: SetStmt) -> SetStmt:
         if stmt.var not in self._var_types:
-            raise DslValidationError(f"SET of undeclared var {stmt.var!r}")
+            raise _verr(f"SET of undeclared var {stmt.var!r}", stmt)
         scope = Scope(
             input_fields=(
                 {n: s.type for n, s in self.schema.fields.items()}
@@ -405,9 +430,10 @@ class ElementValidator:
         inferred = self._infer_type(expr, scope)
         expected = self._var_types[stmt.var]
         if inferred is not None and not _compatible(expected, inferred):
-            raise DslValidationError(
+            raise _verr(
                 f"SET {stmt.var}: expression is {inferred.value}, "
-                f"var is {expected.value}"
+                f"var is {expected.value}",
+                stmt,
             )
         new_where = (
             self._check_bool_expr(stmt.where, scope) if stmt.where is not None else None
@@ -443,9 +469,10 @@ class ElementValidator:
                     and arg.table is None
                     and arg.name in self._table_columns
                 ):
-                    raise DslValidationError(
+                    raise _verr(
                         f"{expr.name}() takes a state-table name as its "
-                        "first argument"
+                        "first argument",
+                        expr,
                     )
                 if expr.name in ("sum_of", "min_of", "max_of", "avg_of"):
                     column = expr.args[1]
@@ -454,31 +481,37 @@ class ElementValidator:
                         and column.table is None
                         and column.name in self._table_columns[arg.name]
                     ):
-                        raise DslValidationError(
+                        raise _verr(
                             f"{expr.name}() takes a column of "
-                            f"{arg.name!r} as its second argument"
+                            f"{arg.name!r} as its second argument",
+                            expr,
                         )
                     if arg.name in self._append_only:
-                        raise DslValidationError(
-                            f"aggregate over append-only table {arg.name!r}"
+                        raise _verr(
+                            f"aggregate over append-only table {arg.name!r}",
+                            expr,
                         )
                     return expr
                 rest = tuple(
                     self._resolve_expr(a, scope) for a in expr.args[1:]
                 )
-                return FuncCall(expr.name, (arg,) + rest)
+                return FuncCall(expr.name, (arg,) + rest, span=expr.span)
             return FuncCall(
                 expr.name,
                 tuple(self._resolve_expr(a, scope) for a in expr.args),
+                span=expr.span,
             )
         if isinstance(expr, BinaryOp):
             return BinaryOp(
                 expr.op,
                 self._resolve_expr(expr.left, scope),
                 self._resolve_expr(expr.right, scope),
+                span=expr.span,
             )
         if isinstance(expr, UnaryOp):
-            return UnaryOp(expr.op, self._resolve_expr(expr.operand, scope))
+            return UnaryOp(
+                expr.op, self._resolve_expr(expr.operand, scope), span=expr.span
+            )
         if isinstance(expr, CaseExpr):
             return CaseExpr(
                 tuple(
@@ -488,53 +521,55 @@ class ElementValidator:
                 self._resolve_expr(expr.default, scope)
                 if expr.default is not None
                 else None,
+                span=expr.span,
             )
-        raise DslValidationError(f"unsupported expression {expr!r}")
+        raise _verr(f"unsupported expression {expr!r}", expr)
 
     def _resolve_column(self, ref: ColumnRef, scope: Scope) -> Expr:
         if ref.table is not None:
             if ref.table == "input":
                 if not scope.has_input_field(ref.name):
-                    raise DslValidationError(
-                        f"unknown input field {ref.name!r}"
+                    raise _verr(
+                        f"unknown input field {ref.name!r}", ref
                     )
                 return ref
             if ref.table not in scope.tables:
-                raise DslValidationError(
-                    f"reference to {ref}: table {ref.table!r} not in scope"
+                raise _verr(
+                    f"reference to {ref}: table {ref.table!r} not in scope",
+                    ref,
                 )
             if ref.name not in scope.tables[ref.table]:
-                raise DslValidationError(
-                    f"table {ref.table!r} has no column {ref.name!r}"
+                raise _verr(
+                    f"table {ref.table!r} has no column {ref.name!r}", ref
                 )
             return ref
         # bare name: var > (table column, for UPDATE/DELETE) > input field
         # > unique table column
         if ref.name in scope.vars:
-            return VarRef(ref.name)
+            return VarRef(ref.name, span=ref.span)
         owners = [t for t, cols in scope.tables.items() if ref.name in cols]
         if scope.prefer_tables and len(owners) == 1:
-            return ColumnRef(owners[0], ref.name)
+            return ColumnRef(owners[0], ref.name, span=ref.span)
         if scope.has_input_field(ref.name) and scope.input_fields is not None:
             if ref.name in scope.input_fields or ref.name in META_FIELDS:
-                return ColumnRef("input", ref.name)
+                return ColumnRef("input", ref.name, span=ref.span)
         if len(owners) == 1:
-            return ColumnRef(owners[0], ref.name)
+            return ColumnRef(owners[0], ref.name, span=ref.span)
         if len(owners) > 1:
-            raise DslValidationError(
-                f"ambiguous column {ref.name!r} (in tables {owners})"
+            raise _verr(
+                f"ambiguous column {ref.name!r} (in tables {owners})", ref
             )
         if scope.input_fields is None:
             # open schema: assume it is an input field
-            return ColumnRef("input", ref.name)
-        raise DslValidationError(f"unresolved name {ref.name!r}")
+            return ColumnRef("input", ref.name, span=ref.span)
+        raise _verr(f"unresolved name {ref.name!r}", ref)
 
     def _check_bool_expr(self, expr: Expr, scope: Scope) -> Expr:
         resolved = self._resolve_expr(expr, scope)
         inferred = self._infer_type(resolved, scope)
         if inferred is not None and inferred is not FieldType.BOOL:
-            raise DslValidationError(
-                f"predicate must be boolean, got {inferred.value}"
+            raise _verr(
+                f"predicate must be boolean, got {inferred.value}", expr
             )
         return resolved
 
@@ -581,19 +616,19 @@ class ElementValidator:
                 and right is not None
                 and not _comparable(left, right)
             ):
-                raise DslValidationError(
-                    f"cannot compare {left.value} with {right.value}"
+                raise _verr(
+                    f"cannot compare {left.value} with {right.value}", expr
                 )
             return FieldType.BOOL
         # arithmetic
         if expr.op == "+" and FieldType.STR in (left, right):
-            raise DslValidationError(
-                "use concat() for string concatenation, not '+'"
+            raise _verr(
+                "use concat() for string concatenation, not '+'", expr
             )
         for side in (left, right):
             if side is not None and side not in _NUMERIC:
-                raise DslValidationError(
-                    f"arithmetic on non-numeric type {side.value}"
+                raise _verr(
+                    f"arithmetic on non-numeric type {side.value}", expr
                 )
         if FieldType.FLOAT in (left, right):
             return FieldType.FLOAT
@@ -642,9 +677,10 @@ def validate_element(
 def validate_filter(filter_def: FilterDef) -> FilterDef:
     """Check a filter element binds to a known operator."""
     if filter_def.operator not in _KNOWN_OPERATORS:
-        raise DslValidationError(
+        raise _verr(
             f"filter {filter_def.name!r}: unknown operator "
-            f"{filter_def.operator!r} (known: {sorted(_KNOWN_OPERATORS)})"
+            f"{filter_def.operator!r} (known: {sorted(_KNOWN_OPERATORS)})",
+            filter_def,
         )
     return filter_def
 
@@ -653,24 +689,26 @@ def validate_app(app: AppDef, program: Program) -> AppDef:
     """Check an app's chains reference declared services and elements."""
     service_names = {svc.name for svc in app.services}
     if len(service_names) != len(app.services):
-        raise DslValidationError(f"app {app.name!r}: duplicate service")
+        raise _verr(f"app {app.name!r}: duplicate service", app)
     known_elements = set(program.elements) | set(program.filters)
     for chain in app.chains:
         for endpoint in (chain.src, chain.dst):
             if endpoint not in service_names:
-                raise DslValidationError(
+                raise _verr(
                     f"app {app.name!r}: chain references unknown service "
-                    f"{endpoint!r}"
+                    f"{endpoint!r}",
+                    chain,
                 )
         if chain.src == chain.dst:
-            raise DslValidationError(
-                f"app {app.name!r}: chain endpoints must differ"
+            raise _verr(
+                f"app {app.name!r}: chain endpoints must differ", chain
             )
         for element_name in chain.elements:
             if element_name not in known_elements:
-                raise DslValidationError(
+                raise _verr(
                     f"app {app.name!r}: chain uses unknown element "
-                    f"{element_name!r}"
+                    f"{element_name!r}",
+                    chain,
                 )
     chain_elements = {
         name for chain in app.chains for name in chain.elements
@@ -680,9 +718,10 @@ def validate_app(app: AppDef, program: Program) -> AppDef:
             if arg in ("sender", "receiver"):
                 continue
             if arg not in chain_elements:
-                raise DslValidationError(
+                raise _verr(
                     f"app {app.name!r}: constraint references {arg!r}, "
-                    f"which is not in any chain"
+                    f"which is not in any chain",
+                    constraint,
                 )
     return app
 

@@ -26,7 +26,18 @@ class DslSyntaxError(AdnError):
 
 class DslValidationError(AdnError):
     """The DSL parsed but is semantically invalid (unknown table, type
-    mismatch, write to read-only table, duplicate element name, ...)."""
+    mismatch, write to read-only table, duplicate element name, ...).
+
+    Like :class:`DslSyntaxError`, carries the source position (1-based;
+    0 means unknown) so tooling can point at the offending text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line > 0:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class CompileError(AdnError):

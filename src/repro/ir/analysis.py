@@ -36,6 +36,7 @@ from .nodes import (
     StatementIR,
     UpdateRows,
 )
+from .replication import ReplicationSafety, replication_safety
 
 
 @dataclass
@@ -79,6 +80,8 @@ class ElementAnalysis:
     has_state: bool = False
     keyed_state: bool = False
     append_only_state: bool = False
+    #: replication-safety classification of every state table/var
+    replication: Optional[ReplicationSafety] = None
 
     # -- aggregates over handlers --------------------------------------
 
@@ -168,6 +171,7 @@ def analyze_element(
     }
     for kind, handler in element.handlers.items():
         analysis.handlers[kind] = _analyze_handler(handler, key_columns, registry)
+    analysis.replication = replication_safety(element)
     element.analysis = analysis
     return analysis
 

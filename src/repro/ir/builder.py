@@ -65,7 +65,7 @@ def _lower_statement(element: ElementDef, stmt: Statement) -> StatementIR:
     if isinstance(stmt, SelectStmt):
         return _lower_select(element, stmt)
     if isinstance(stmt, InsertValues):
-        return StatementIR(ops=(_lower_insert_values(stmt),))
+        return StatementIR(ops=(_lower_insert_values(stmt),), span=stmt.span)
     if isinstance(stmt, UpdateStmt):
         return StatementIR(
             ops=(
@@ -74,13 +74,17 @@ def _lower_statement(element: ElementDef, stmt: Statement) -> StatementIR:
                     assignments=stmt.assignments,
                     where=stmt.where,
                 ),
-            )
+            ),
+            span=stmt.span,
         )
     if isinstance(stmt, DeleteStmt):
-        return StatementIR(ops=(DeleteRows(table=stmt.table, where=stmt.where),))
+        return StatementIR(
+            ops=(DeleteRows(table=stmt.table, where=stmt.where),), span=stmt.span
+        )
     if isinstance(stmt, SetStmt):
         return StatementIR(
-            ops=(AssignVar(var=stmt.var, expr=stmt.expr, where=stmt.where),)
+            ops=(AssignVar(var=stmt.var, expr=stmt.expr, where=stmt.where),),
+            span=stmt.span,
         )
     raise CompileError(f"cannot lower statement {stmt!r}")
 
@@ -109,7 +113,7 @@ def _lower_select(element: ElementDef, stmt: SelectStmt) -> StatementIR:
         ops.append(EmitRows())
     else:
         ops.append(InsertRows(table=stmt.into))
-    return StatementIR(ops=tuple(ops))
+    return StatementIR(ops=tuple(ops), span=stmt.span)
 
 
 def _build_project(element: ElementDef, stmt: SelectStmt) -> Project:

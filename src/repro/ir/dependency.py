@@ -110,6 +110,13 @@ def can_parallelize(a: ElementAnalysis, b: ElementAnalysis) -> CommuteVerdict:
     reasons = list(verdict.reasons)
     if a.can_multiply or b.can_multiply:
         reasons.append("fan-out elements cannot run in a parallel group")
+    for side in (a, b):
+        safety = side.replication
+        if safety is not None and not safety.replicable:
+            for reason in safety.reasons():
+                reasons.append(
+                    f"{side.name} is unsafe to replicate: {reason}"
+                )
     return CommuteVerdict(commutes=not reasons, reasons=tuple(reasons))
 
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..dsl.ast_nodes import Expr, StateDecl, VarDecl
+from ..dsl.span import Span
 
 
 @dataclass(frozen=True)
@@ -145,9 +146,15 @@ class StatementIR:
 
     ``emits`` is True when the pipeline ends in :class:`EmitRows` —
     i.e. this statement contributes to the element's output stream.
+
+    ``span`` is the source position of the DSL statement this was lowered
+    from (None for statements synthesized by optimization passes). Like
+    AST spans it is metadata: excluded from equality/hashing so optimized
+    and pretty-printed IR stay structurally comparable.
     """
 
     ops: Tuple[Op, ...]
+    span: Optional["Span"] = field(default=None, compare=False, kw_only=True)
 
     @property
     def emits(self) -> bool:

@@ -1,0 +1,64 @@
+"""Rule registry: lint rules self-register via the :func:`rule` decorator.
+
+A rule is a function ``(LintContext) -> Iterable[Diagnostic]``. The
+registry keys rules by their stable code so the engine can run all of
+them (or a selected subset) and docs/tests can enumerate the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    name: str
+    severity: Severity  # default severity of findings from this rule
+    doc: str
+    check: Callable  # (LintContext) -> Iterable[Diagnostic]
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, severity: Severity):
+    """Register the decorated function as the implementation of ``code``."""
+
+    def decorator(fn: Callable) -> Callable:
+        if code in _RULES:
+            raise ValueError(f"duplicate lint rule code {code}")
+        _RULES[code] = Rule(
+            code=code,
+            name=name,
+            severity=severity,
+            doc=(fn.__doc__ or "").strip(),
+            check=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    _load_builtin_rules()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def run_rules(context) -> List[Diagnostic]:
+    """Run every registered rule over one lint context."""
+    diagnostics: List[Diagnostic] = []
+    for registered in all_rules():
+        diagnostics.extend(registered.check(context))
+    return diagnostics
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (registration is import-driven)."""
+    from .rules import cross_element, dead, placement, state_race  # noqa: F401

@@ -1,0 +1,1 @@
+"""Built-in lint rules, grouped by code block (see docs/linting.md)."""

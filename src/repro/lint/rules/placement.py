@@ -1,0 +1,123 @@
+"""``ADN4xx`` — placement infeasibility, detected without the solver.
+
+The placement solver raises at deploy time when an element has no legal
+processor. Both of its per-element filters are statically checkable:
+backend legality (does any available platform's code generator accept
+the element?) and constraint consistency (does the app pin an element to
+a side its own meta forbids?).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...compiler.backends import make_backends
+from ...platforms import Platform
+from ..diagnostics import Diagnostic, Severity
+from ..registry import rule
+
+
+def _platform_available(platform: Platform, cluster) -> bool:
+    if platform is Platform.SMARTNIC:
+        return cluster.smartnics
+    if platform is Platform.SWITCH_P4:
+        return cluster.programmable_switch
+    if platform is Platform.KERNEL_EBPF:
+        return cluster.kernel_offload
+    if platform is Platform.SIDECAR:
+        return cluster.sidecars_available
+    if platform is Platform.MRPC:
+        return cluster.engine_available
+    return True  # RPC_LIB: the app binary always exists
+
+
+@rule("ADN401", "no-feasible-processor", Severity.ERROR)
+def check_feasible_processor(context) -> List[Diagnostic]:
+    """No platform in the configured cluster can host the element: every
+    available platform's backend rejects it, or the only backend that
+    accepts it runs in the app binary and the element is ``mandatory``
+    (must run outside the app's trust domain). The placement solver
+    would raise ``PlacementError`` for any chain using it."""
+    out: List[Diagnostic] = []
+    backends = make_backends(context.registry)
+    cluster = context.options.cluster
+    reports_cache: Dict[str, Dict[str, object]] = {}
+    for name in context.own_elements:
+        ir = context.irs.get(name)
+        if ir is None:
+            continue
+        reports = reports_cache.setdefault(
+            name,
+            {
+                backend_name: backend.check(ir)
+                for backend_name, backend in backends.items()
+            },
+        )
+        legal_platforms = []
+        refusals: List[str] = []
+        for platform in Platform:
+            if not _platform_available(platform, cluster):
+                refusals.append(f"{platform.value}: not in this cluster")
+                continue
+            if platform.in_app_binary and ir.mandatory:
+                refusals.append(
+                    f"{platform.value}: element is 'mandatory' (must run "
+                    "outside the app binary)"
+                )
+                continue
+            report = reports[platform.backend_name]
+            if not report.legal:
+                refusals.append(
+                    f"{platform.value}: {report.violations[0]}"
+                )
+                continue
+            legal_platforms.append(platform)
+        if legal_platforms:
+            continue
+        out.append(
+            context.diag(
+                "ADN401",
+                Severity.ERROR,
+                f"no feasible processor for element {name!r}: "
+                + "; ".join(refusals),
+                span=context.program.elements[name].span,
+                element=name,
+                fix="relax the element (drop 'mandatory', avoid "
+                "payload/loop constructs) or enable a platform "
+                "(engine, sidecars, kernel offload, SmartNIC, switch)",
+            )
+        )
+    return out
+
+
+@rule("ADN402", "contradictory-colocation", Severity.ERROR)
+def check_colocation_contradictions(context) -> List[Diagnostic]:
+    """An app constraint pins an element to one side while the element's
+    own ``meta { position: ...; }`` pins it to the other — the placement
+    solver can never satisfy both."""
+    out: List[Diagnostic] = []
+    for app_name in context.own_apps:
+        app = context.program.apps[app_name]
+        for constraint in app.constraints:
+            if constraint.kind != "colocate":
+                continue
+            element_name, side = constraint.args[0], constraint.args[1]
+            ir = context.irs.get(element_name)
+            if ir is None:
+                continue
+            position = ir.position
+            if position in ("sender", "receiver") and position != side:
+                out.append(
+                    context.diag(
+                        "ADN402",
+                        Severity.ERROR,
+                        f"app {app_name!r} colocates {element_name!r} with "
+                        f"the {side}, but the element declares "
+                        f"position: {position}",
+                        span=constraint.span,
+                        element=app_name,
+                        fix="drop the colocate constraint or change the "
+                        "element's position meta",
+                    )
+                )
+    return out

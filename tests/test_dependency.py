@@ -229,3 +229,95 @@ class TestSoundnessExecutable:
         assert with_route(["LbKeyHash", "Router"]) != with_route(
             ["Router", "LbKeyHash"]
         )
+
+
+class TestEdgeCases:
+    """Corner cases of the write/read-set machinery: the ALL_FIELDS
+    narrowing sentinel, disjoint droppers, and response-side writers."""
+
+    @staticmethod
+    def _analysis(source, name=None):
+        from repro.dsl import parse, validate_element
+
+        program = parse(source)
+        element = validate_element(
+            program.elements[name or next(iter(program.elements))]
+        )
+        return analyze_element(build_element_ir(element))
+
+    def test_narrowing_writes_all_fields_sentinel(self):
+        from repro.ir.dependency import ALL_FIELDS, _write_set
+
+        narrower = self._analysis(
+            "element Narrow { on request {"
+            " SELECT input.obj_id AS obj_id FROM input; } }"
+        )
+        passthrough = self._analysis(
+            "element Pass { on request { SELECT * FROM input; } }"
+        )
+        assert _write_set(narrower) == {ALL_FIELDS}
+        assert _write_set(passthrough) == set()
+
+    def test_all_fields_vs_empty_sets_commute(self):
+        # The sentinel conflicts with *any* non-empty read/write set, but
+        # not with an element that touches no fields at all — so a pure
+        # pass-through may still move across a narrowing projection.
+        narrower = self._analysis(
+            "element Narrow { on request {"
+            " SELECT input.obj_id AS obj_id FROM input; } }"
+        )
+        passthrough = self._analysis(
+            "element Pass { on request { SELECT * FROM input; } }"
+        )
+        assert commute(narrower, passthrough)
+        assert commute(passthrough, narrower)
+
+    def test_all_fields_conflicts_with_any_reader(self):
+        narrower = self._analysis(
+            "element Narrow { on request {"
+            " SELECT input.obj_id AS obj_id FROM input; } }"
+        )
+        reader = self._analysis(
+            "element Reader { on request {"
+            ' SELECT * FROM input WHERE input.username == "root"; } }'
+        )
+        verdict = commute(narrower, reader)
+        assert not verdict
+        assert any("Narrow writes" in r for r in verdict.reasons)
+
+    def test_two_droppers_with_disjoint_predicates_commute(self):
+        # The kept set is the intersection of two order-independent
+        # predicates: neither dropper has effects or reads the other's
+        # writes, so either order keeps exactly the same RPCs.
+        d1 = self._analysis(
+            "element D1 { on request {"
+            " SELECT * FROM input WHERE input.obj_id > 5; } }"
+        )
+        d2 = self._analysis(
+            "element D2 { on request {"
+            " SELECT * FROM input WHERE len(input.payload) < 100; } }"
+        )
+        assert d1.can_drop and d2.can_drop
+        assert commute(d1, d2)
+        assert commute(d2, d1)
+
+    def test_response_side_only_writer_still_conflicts(self):
+        # Field sets aggregate over *all* handlers: a field written only
+        # in `on response` still conflicts with a reader of that field,
+        # because responses traverse the chain in reverse order.
+        stamp = self._analysis(
+            "element Stamp {\n"
+            "    on request { SELECT * FROM input; }\n"
+            "    on response {\n"
+            '        SELECT input.*, "served" AS status FROM input;\n'
+            "    }\n"
+            "}\n"
+        )
+        reader = self._analysis(
+            "element SR { on request {"
+            ' SELECT * FROM input WHERE input.status == "served"; } }'
+        )
+        assert stamp.fields_written == {"status"}
+        verdict = commute(stamp, reader)
+        assert not verdict
+        assert any("status" in r for r in verdict.reasons)

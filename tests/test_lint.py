@@ -1,0 +1,294 @@
+"""The ``adn-lint`` framework: engine, rule catalog, demo file, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.control.placement import ClusterSpec
+from repro.lint import (
+    LintOptions,
+    Severity,
+    all_rules,
+    lint_file,
+    lint_source,
+)
+
+DEMO = "examples/lint_demo.adn"
+
+
+def codes_of(result):
+    return {d.code for d in result.diagnostics}
+
+
+def find(result, code):
+    return [d for d in result.diagnostics if d.code == code]
+
+
+class TestRuleCatalog:
+    def test_codes_are_stable_and_documented(self):
+        rules = all_rules()
+        codes = [r.code for r in rules]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+        for registered in rules:
+            assert registered.code.startswith("ADN")
+            assert registered.doc, f"{registered.code} has no docstring"
+
+    def test_expected_rules_present(self):
+        codes = {r.code for r in all_rules()}
+        assert {
+            "ADN201", "ADN202", "ADN203", "ADN204", "ADN205",
+            "ADN301", "ADN302", "ADN303", "ADN310", "ADN401", "ADN402",
+        } <= codes
+
+
+class TestFrontEndCapture:
+    def test_syntax_error_is_adn101(self):
+        result = lint_source("element Broken { on request { SELECT; } }")
+        (diagnostic,) = result.diagnostics
+        assert diagnostic.code == "ADN101"
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.line == 1
+
+    def test_validation_error_is_adn102_with_span(self):
+        result = lint_source(
+            "element Bad {\n"
+            "    on request {\n"
+            "        SELECT * FROM nosuch;\n"
+            "    }\n"
+            "}\n"
+        )
+        (diagnostic,) = result.diagnostics
+        assert diagnostic.code == "ADN102"
+        assert (diagnostic.line, diagnostic.column) == (3, 9)
+
+    def test_one_bad_element_does_not_mask_the_rest(self):
+        result = lint_source(
+            "element Bad { on request { SELECT * FROM nosuch; } }\n"
+            "element AlsoDead {\n"
+            "    state t (x: int);\n"
+            "    on request { SELECT * FROM input; }\n"
+            "}\n"
+        )
+        assert {"ADN102", "ADN202"} <= codes_of(result)
+
+    def test_clean_element_is_quiet(self):
+        result = lint_source(
+            "element Clean { on request { SELECT * FROM input; } }"
+        )
+        assert result.diagnostics == []
+
+
+class TestDeadRules:
+    def test_unused_table_adn202(self):
+        result = lint_source(
+            "element E {\n"
+            "    state ghost (x: int);\n"
+            "    on request { SELECT * FROM input; }\n"
+            "}\n"
+        )
+        (diagnostic,) = find(result, "ADN202")
+        assert (diagnostic.line, diagnostic.column) == (2, 5)
+
+    def test_silent_handler_adn204(self):
+        result = lint_source(
+            "element Blackhole {\n"
+            "    state log (ts: float);\n"
+            "    on request {\n"
+            "        INSERT INTO log SELECT now() FROM input;\n"
+            "    }\n"
+            "}\n"
+        )
+        assert find(result, "ADN204")
+
+    def test_write_only_var_adn205(self):
+        result = lint_source(
+            "element E {\n"
+            "    var n: int = 0;\n"
+            "    on request {\n"
+            "        SET n = 7;\n"
+            "        SELECT * FROM input;\n"
+            "    }\n"
+            "}\n"
+        )
+        (diagnostic,) = find(result, "ADN205")
+        assert diagnostic.line == 2
+
+    def test_append_only_table_not_flagged_write_only(self):
+        result = lint_source(
+            "element E {\n"
+            "    state APPEND log (ts: float);\n"
+            "    on request {\n"
+            "        INSERT INTO log SELECT now() FROM input;\n"
+            "        SELECT * FROM input;\n"
+            "    }\n"
+            "}\n"
+        )
+        assert not find(result, "ADN201")
+
+
+class TestStateRaceRules:
+    def test_partitioned_table_adn303_hint(self):
+        result = lint_source(
+            "element P {\n"
+            "    state sess (user: str KEY, n: int);\n"
+            "    on request {\n"
+            "        UPDATE sess SET n = 99\n"
+            "            WHERE sess.user == input.username;\n"
+            "        SELECT * FROM input;\n"
+            "    }\n"
+            "}\n"
+        )
+        (diagnostic,) = find(result, "ADN303")
+        assert diagnostic.severity is Severity.HINT
+        assert not find(result, "ADN301")
+
+
+class TestPlacementRules:
+    def test_no_feasible_processor_adn401(self):
+        # 'mandatory' excludes the app binary; with no engine, sidecars,
+        # kernel, SmartNIC, or switch, nothing can host the element.
+        options = LintOptions(
+            cluster=ClusterSpec(
+                engine_available=False,
+                sidecars_available=False,
+                kernel_offload=False,
+            )
+        )
+        result = lint_source(
+            "element M {\n"
+            "    meta { mandatory: true; }\n"
+            "    on request { SELECT * FROM input; }\n"
+            "}\n",
+            options=options,
+        )
+        (diagnostic,) = find(result, "ADN401")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.line == 1
+
+    def test_feasible_with_default_cluster(self):
+        result = lint_source(
+            "element M {\n"
+            "    meta { mandatory: true; }\n"
+            "    on request { SELECT * FROM input; }\n"
+            "}\n"
+        )
+        assert not find(result, "ADN401")
+
+    def test_contradictory_colocation_adn402(self):
+        result = lint_source(
+            "element Enc {\n"
+            "    meta { position: sender; }\n"
+            "    on request { SELECT * FROM input; }\n"
+            "}\n"
+            "app A {\n"
+            "    service x;\n"
+            "    service y;\n"
+            "    chain x -> y { Enc }\n"
+            "    constrain Enc colocate receiver;\n"
+            "}\n"
+        )
+        (diagnostic,) = find(result, "ADN402")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.line == 9
+
+
+class TestDemoFile:
+    """The acceptance-criteria file: >= 4 distinct codes including one
+    state-race and one dead-state finding, with real positions."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lint_file(DEMO)
+
+    def test_at_least_four_distinct_codes(self, result):
+        assert len(codes_of(result)) >= 4
+
+    def test_dead_state_findings(self, result):
+        audit = [
+            d for d in find(result, "ADN201") if "'audit'" in d.message
+        ]
+        assert audit and (audit[0].line, audit[0].column) == (13, 9)
+        false_arm = find(result, "ADN203")
+        assert false_arm and (false_arm[0].line, false_arm[0].column) == (16, 9)
+
+    def test_state_race_findings(self, result):
+        quota = find(result, "ADN301")
+        assert quota and (quota[0].line, quota[0].column) == (14, 9)
+        seq = find(result, "ADN302")
+        assert seq and seq[0].line == 17  # where seq is read back
+
+    def test_cross_element_finding(self, result):
+        pair = find(result, "ADN310")
+        assert any("Logging and Acl" in d.message for d in pair)
+        assert all(d.severity is Severity.HINT for d in pair)
+
+    def test_spans_point_at_real_source(self, result):
+        lines = open(DEMO).read().splitlines()
+        for diagnostic in result.diagnostics:
+            assert diagnostic.line >= 1
+            text = lines[diagnostic.line - 1]
+            assert len(text) >= diagnostic.column
+
+    def test_fails_on_warning_not_error(self, result):
+        assert result.fails(Severity.WARNING)
+        assert not result.fails(Severity.ERROR)
+
+
+class TestStdlibClean:
+    def test_stdlib_has_no_errors(self):
+        from repro.dsl.stdlib import STDLIB_SOURCES
+
+        for name, source in STDLIB_SOURCES.items():
+            result = lint_source(source, path=f"<stdlib:{name}>")
+            errors = [
+                d for d in result.diagnostics
+                if d.severity is Severity.ERROR
+            ]
+            assert not errors, f"{name}: {errors}"
+
+
+class TestLintCli:
+    def test_demo_passes_at_error_threshold(self, capsys):
+        assert main(["lint", DEMO]) == 0
+        out = capsys.readouterr().out
+        assert "ADN301" in out and "finding(s)" in out
+
+    def test_demo_fails_at_warning_threshold(self, capsys):
+        assert main(["lint", DEMO, "--fail-on", "warning"]) == 1
+
+    def test_json_format(self, capsys):
+        assert main(["lint", DEMO, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        diagnostics = payload[0]["diagnostics"]
+        codes = {d["code"] for d in diagnostics}
+        assert len(codes) >= 4
+        assert all(d["line"] >= 1 for d in diagnostics)
+
+    def test_stdlib_flag_error_clean(self, capsys):
+        assert main(["lint", "--stdlib"]) == 0
+
+    def test_syntax_error_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.adn"
+        bad.write_text("element Broken { on request { SELECT; } }")
+        assert main(["lint", str(bad)]) == 1
+        assert "ADN101" in capsys.readouterr().out
+
+
+class TestCheckJson:
+    def test_check_json_ok(self, capsys):
+        assert main(["check", DEMO, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["elements"] == ["LintDemo"]
+
+    def test_check_json_failure_carries_position(self, tmp_path, capsys):
+        bad = tmp_path / "bad.adn"
+        bad.write_text(
+            "element Bad {\n    on request { SELECT * FROM nosuch; }\n}\n"
+        )
+        assert main(["check", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["error"]["line"] == 2

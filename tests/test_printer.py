@@ -52,6 +52,33 @@ class TestStdlibRoundTrip:
         assert reparsed.filters == program.filters
         assert reparsed.apps == program.apps
 
+    def test_examples_round_trip(self):
+        """parse(print(parse(src))) is structurally equal for every
+        checked-in .adn example — the canary for span-threading
+        regressions: spans are equality-exempt metadata, so any parser
+        or printer change that leaks them into structure fails here."""
+        import glob
+
+        paths = sorted(glob.glob("examples/*.adn"))
+        assert paths, "no .adn examples found"
+        for file_path in paths:
+            program = parse(open(file_path).read())
+            reparsed = parse(print_program(program))
+            assert reparsed.elements == program.elements, file_path
+            assert reparsed.filters == program.filters, file_path
+            assert reparsed.apps == program.apps, file_path
+
+    def test_spans_survive_but_do_not_affect_equality(self):
+        """Parser-attached spans are metadata: present on the original
+        parse, absent from structural comparison."""
+        source = "element E { on request { SELECT * FROM input; } }"
+        first = parse(source).elements["E"]
+        shifted = parse("\n\n" + source).elements["E"]
+        assert first.span is not None and shifted.span is not None
+        assert first.span.line != shifted.span.line
+        assert first == shifted  # spans are compare-exempt
+        assert hash(first) == hash(shifted)
+
     def test_printed_source_still_validates(self):
         program = parse("\n".join(STDLIB_SOURCES.values()))
         printed = print_program(program)
