@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples check-all lint loc
+.PHONY: install test bench examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -18,6 +18,18 @@ lint:
 	    || (echo 'dead `del` statements found in src/' && exit 1)
 	PYTHONPATH=src $(PYTHON) -m repro lint $(wildcard examples/*.adn) \
 	    --stdlib --fail-on error
+
+typecheck:
+	@# abstract type & effect checker over every example and the stdlib,
+	@# then per-pass translation validation of every example's pipelines
+	for f in $(wildcard examples/*.adn); do \
+	    PYTHONPATH=src $(PYTHON) -m repro check $$f --types --stdlib \
+	        || exit 1; \
+	done
+	for f in $(wildcard examples/*.adn); do \
+	    PYTHONPATH=src $(PYTHON) -m repro compile --verify $$f >/dev/null \
+	        || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s

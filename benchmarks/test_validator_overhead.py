@@ -1,0 +1,83 @@
+"""Cost of per-pass translation validation (``compile --verify``).
+
+The validator replays every pass's rewrite three ways (certificates,
+abstract environments, concolic exemplar execution), so it is not free;
+this bench records the overhead per pass — the same ``verify_ms``
+figures ``compile --explain`` prints in its ``verified`` column — and
+asserts validation stays a small, bounded fraction of a compile."""
+
+import pytest
+
+from repro.dsl import FunctionRegistry, load_stdlib
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+from repro.ir.optimizer import ChainContext, OptimizerOptions, optimize_chain
+
+from bench_harness import SCHEMA, PAPER_ELEMENTS, bench_assert, print_table
+
+#: the paper chain plus a field-writing element so every pass has work
+CHAIN = ("Mirror",) + PAPER_ELEMENTS
+
+
+def build_elements(registry):
+    program = load_stdlib(schema=SCHEMA)
+    irs = []
+    for name in CHAIN:
+        ir = build_element_ir(program.elements[name])
+        analyze_element(ir, registry)
+        irs.append(ir)
+    return irs
+
+
+def run_pipeline(verify: bool):
+    registry = FunctionRegistry()
+    context = ChainContext(registry=registry, schema=SCHEMA)
+    options = OptimizerOptions(fusion=True, verify=verify)
+    chain = optimize_chain(build_elements(registry), context, options)
+    return chain.pass_reports
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        "verified": run_pipeline(verify=True),
+        "plain": run_pipeline(verify=False),
+    }
+
+
+class TestValidatorOverhead:
+    def test_per_pass_overhead_table(self, reports, benchmark):
+        verified = [r for r in reports["verified"] if not r.skipped]
+
+        def report():
+            rows = [r.name for r in verified]
+            by_name = {r.name: r for r in verified}
+            print()
+            print_table(
+                "translation validation overhead per pass",
+                rows,
+                ["pass ms", "verify ms"],
+                lambda row, col: {
+                    "pass ms": by_name[row].wall_ms,
+                    "verify ms": by_name[row].verify_ms,
+                }[col],
+                unit="ms",
+            )
+            return sum(r.verify_ms for r in verified)
+
+        total_verify_ms = bench_assert(benchmark, report)
+        # every enabled pass carries a verdict and a recorded cost
+        assert all(r.validated is True for r in verified)
+        assert all(r.verify_ms >= 0.0 for r in verified)
+        # validation must stay cheap in absolute terms: the concolic
+        # replay touches a handful of exemplar messages, not a workload
+        assert total_verify_ms < 2000.0
+
+    def test_verify_off_costs_nothing(self, reports, benchmark):
+        plain = reports["plain"]
+
+        def check():
+            return sum(r.verify_ms for r in plain)
+
+        assert bench_assert(benchmark, check) == 0.0
+        assert all(r.validated is None for r in plain)

@@ -59,6 +59,42 @@ def _load(path: str, schema: RpcSchema, include_stdlib: bool = True):
     return validate_program(program, schema=schema)
 
 
+def _typecheck_diagnostics(args, schema):
+    """Run the ADN5xx abstract-interpretation rules for ``check --types``
+    over the file (and optionally the stdlib); returns (diagnostics,
+    failed) where ``failed`` honours ``--fail-on`` identically for the
+    text and json output paths."""
+    from .lint import LintOptions, Severity, lint_file, lint_source
+
+    options = LintOptions(
+        schema=schema, include_stdlib=not args.no_stdlib
+    )
+    results = [lint_file(args.file, options)]
+    if args.stdlib:
+        from .dsl.stdlib import STDLIB_SOURCES
+
+        for name in sorted(STDLIB_SOURCES):
+            results.append(
+                lint_source(
+                    STDLIB_SOURCES[name],
+                    path=f"<stdlib:{name}>",
+                    options=options,
+                )
+            )
+    diagnostics = [
+        diagnostic
+        for result in results
+        for diagnostic in result.diagnostics
+        if diagnostic.code.startswith("ADN5")
+    ]
+    threshold = Severity.from_name(args.fail_on)
+    failed = any(
+        diagnostic.severity.rank >= threshold.rank
+        for diagnostic in diagnostics
+    )
+    return diagnostics, failed
+
+
 def cmd_check(args) -> int:
     schema = _schema_from_args(args.field)
     try:
@@ -78,20 +114,35 @@ def cmd_check(args) -> int:
         else:
             print(f"{args.file}: error: {error}", file=sys.stderr)
         return 1
+    diagnostics, types_failed = (
+        _typecheck_diagnostics(args, schema) if args.types else ([], False)
+    )
     if args.format == "json":
-        print(json.dumps({
+        payload = {
             "file": args.file,
-            "ok": True,
+            "ok": not types_failed,
             "elements": sorted(own.elements),
             "filters": sorted(own.filters),
             "apps": sorted(own.apps),
-        }, indent=2))
-        return 0
-    print(f"{args.file}: OK")
+        }
+        if args.types:
+            payload["typecheck"] = [d.to_dict() for d in diagnostics]
+        print(json.dumps(payload, indent=2))
+        # json and text must agree: nonzero whenever findings reach
+        # --fail-on, zero otherwise
+        return 1 if types_failed else 0
+    print(f"{args.file}: OK" if not types_failed else f"{args.file}: FAIL")
     print(
         f"  elements: {len(own.elements)}  filters: {len(own.filters)}  "
         f"apps: {len(own.apps)}"
     )
+    if args.types:
+        for diagnostic in diagnostics:
+            print(diagnostic.format_text())
+        print(
+            f"  typecheck: {len(diagnostics)} finding(s) "
+            f"(fail threshold: {args.fail_on})"
+        )
     if args.analyze:
         from .ir import analyze_element, build_element_ir
 
@@ -113,7 +164,7 @@ def cmd_check(args) -> int:
                 f"writes={sorted(analysis.fields_written)} "
                 f"[{', '.join(flags) or 'pure'}]"
             )
-    return 0
+    return 1 if types_failed else 0
 
 
 def cmd_lint(args) -> int:
@@ -190,8 +241,8 @@ def cmd_compile(args) -> int:
     schema = _schema_from_args(args.field)
     program = _load(args.file, schema)
     own = parse(open(args.file).read())
-    if args.explain:
-        return _explain(program, own, schema)
+    if args.explain or args.verify:
+        return _explain(program, own, schema, verify=args.verify)
     compiler = AdnCompiler(registry=FunctionRegistry())
     targets = list(own.elements) or list(program.elements)
     if args.element:
@@ -216,32 +267,49 @@ def cmd_compile(args) -> int:
     return 0
 
 
-def _explain(program, own, schema) -> int:
-    """``compile --explain``: run the full optimization pipeline (all
-    passes on, including opt-in fusion) and print each chain's per-pass
-    report plus the compiler's artifact-cache statistics."""
+def _explain(program, own, schema, verify: bool = False) -> int:
+    """``compile --explain``/``--verify``: run the full optimization
+    pipeline (all passes on, including opt-in fusion) and print each
+    chain's per-pass report plus the compiler's artifact-cache
+    statistics. With ``verify``, every pass is translation-validated
+    against the pre-pass chain; a failed pipeline emits no artifacts
+    and the command exits nonzero with the counterexample."""
+    from .errors import TranslationValidationError
     from .ir.optimizer import OptimizerOptions
     from .ir.passmgr import format_report_table
 
     compiler = AdnCompiler(
-        registry=FunctionRegistry(), options=OptimizerOptions(fusion=True)
+        registry=FunctionRegistry(),
+        options=OptimizerOptions(fusion=True, verify=verify),
     )
     chains = []
     apps = list(own.apps)
-    if apps:
-        for app_name in apps:
-            chains.extend(compiler.compile_app(program, app_name, schema).chains)
-    else:
-        # no app in the file: explain each element as a one-element chain
-        targets = list(own.elements) or list(program.elements)
-        for name in targets:
-            chains.append(
-                compiler.compile_chain(
-                    ChainDecl(src="A", dst="B", elements=(name,)),
-                    program,
-                    schema,
+    try:
+        if apps:
+            for app_name in apps:
+                chains.extend(
+                    compiler.compile_app(program, app_name, schema).chains
                 )
-            )
+        else:
+            # no app in the file: explain each element as a one-element
+            # chain
+            targets = list(own.elements) or list(program.elements)
+            for name in targets:
+                chains.append(
+                    compiler.compile_chain(
+                        ChainDecl(src="A", dst="B", elements=(name,)),
+                        program,
+                        schema,
+                    )
+                )
+    except TranslationValidationError as error:
+        where = ""
+        if error.span is not None and error.span.line > 0:
+            where = f" (line {error.span.line}, column {error.span.column})"
+        print(f"translation validation FAILED{where}: {error}",
+              file=sys.stderr)
+        print("no artifacts emitted", file=sys.stderr)
+        return 1
     for chain in chains:
         print(f"chain {chain.decl.src} -> {chain.decl.dst}:")
         print(f"  input : {' -> '.join(chain.decl.elements)}")
@@ -364,6 +432,17 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("file")
     check.add_argument("--analyze", action="store_true",
                        help="print per-element analyses")
+    check.add_argument("--types", action="store_true",
+                       help="run the abstract-interpretation type checker "
+                       "(ADN501-ADN505) over elements and chains")
+    check.add_argument(
+        "--fail-on", choices=["error", "warning", "hint"], default="error",
+        help="with --types: exit nonzero when any finding is at least "
+        "this severe",
+    )
+    check.add_argument("--stdlib", action="store_true",
+                       help="with --types: also check every "
+                       "standard-library element")
     check.add_argument("--no-stdlib", action="store_true",
                        help="do not merge the standard element library")
     check.add_argument("--format", choices=["text", "json"], default="text")
@@ -410,6 +489,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="run the full pass pipeline (incl. fusion) and print the "
         "per-pass report for each chain",
+    )
+    compile_.add_argument(
+        "--verify", action="store_true",
+        help="translation-validate every pass (abstract environments + "
+        "concolic replay); refuse to emit artifacts and exit nonzero "
+        "if any pass miscompiles",
     )
     add_fields(compile_)
     compile_.set_defaults(func=cmd_compile)

@@ -50,6 +50,7 @@ from ...ir.nodes import (
     Project,
     Scan,
     UpdateRows,
+    op_exprs,
 )
 from .base import Backend, CompiledArtifact, LegalityReport
 
@@ -279,25 +280,7 @@ class EbpfBackend(Backend):
 
 
 def _op_exprs(op) -> List[Expr]:
-    exprs: List[Expr] = []
-    if isinstance(op, JoinState):
-        exprs.append(op.on)
-    elif isinstance(op, FilterRows):
-        exprs.append(op.predicate)
-    elif isinstance(op, Project):
-        exprs.extend(expr for _, expr in op.items)
-    elif isinstance(op, UpdateRows):
-        exprs.extend(expr for _, expr in op.assignments)
-        if op.where is not None:
-            exprs.append(op.where)
-    elif isinstance(op, DeleteRows):
-        if op.where is not None:
-            exprs.append(op.where)
-    elif isinstance(op, AssignVar):
-        exprs.append(op.expr)
-        if op.where is not None:
-            exprs.append(op.where)
-    return exprs
+    return list(op_exprs(op))
 
 
 def _bounded_where(op, key_columns: Dict[str, tuple]) -> bool:

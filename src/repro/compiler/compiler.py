@@ -20,7 +20,7 @@ from ..dsl.parser import parse
 from ..dsl.schema import RpcSchema
 from ..dsl.stdlib import load_stdlib
 from ..dsl.validator import validate_program
-from ..errors import CompileError
+from ..errors import CompileError, TranslationValidationError
 from ..ir.analysis import ElementAnalysis, analyze_element
 from ..ir.builder import build_element_ir
 from ..ir.nodes import ChainIR, ElementIR
@@ -183,6 +183,8 @@ class AdnCompiler:
             schema=schema,
         )
         chain_ir = optimize_chain(element_irs, context, self.options)
+        if self.options.verify:
+            self._check_validation(chain_ir)
         compiled_elements: Dict[str, CompiledElement] = {}
         for element_ir in chain_ir.elements:
             # re-emit from the optimized IR so artifacts reflect passes;
@@ -198,6 +200,19 @@ class AdnCompiler:
             elements=compiled_elements,
             filters=filters,
         )
+
+    def _check_validation(self, chain_ir: ChainIR) -> None:
+        """Refuse to emit (or cache) artifacts for a chain whose pass
+        pipeline failed translation validation (``compile --verify``)."""
+        for report in chain_ir.pass_reports:
+            if report.validated is False:
+                raise TranslationValidationError(
+                    f"pass {report.name!r} failed translation validation: "
+                    f"{report.counterexample or 'rewritten chain diverges'}",
+                    pass_name=report.name,
+                    counterexample=report.counterexample,
+                    span=report.counterexample_span,
+                )
 
     def _pinned_pairs(
         self, program: Program, app_name: str, decl: ChainDecl

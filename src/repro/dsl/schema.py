@@ -55,6 +55,18 @@ class FieldType(enum.Enum):
             return isinstance(value, int) and not isinstance(value, bool)
         return isinstance(value, self.python_type)
 
+    def exemplar_values(self) -> Tuple[object, ...]:
+        """Representative concrete values of this type, used to build the
+        bounded test vectors the translation validator executes. Ordered
+        from "typical" to "edge" (zero / empty)."""
+        return {
+            FieldType.STR: ("alice", "W", ""),
+            FieldType.INT: (7, 1, 0),
+            FieldType.FLOAT: (2.5, 1.0, 0.0),
+            FieldType.BOOL: (True, False),
+            FieldType.BYTES: (b"\x00payload", b"x", b""),
+        }[self]
+
 
 #: Meta-fields every RPC tuple carries implicitly. Elements may read all of
 #: them and write ``dst`` (request routing) and ``status``.
@@ -123,6 +135,41 @@ class RpcSchema:
 
     def application_field_names(self) -> Tuple[str, ...]:
         return tuple(self.fields)
+
+    def exemplar_messages(
+        self,
+        count: int = 4,
+        src: str = "A.0",
+        dst: str = "B",
+        method: str = "call",
+        literal_pool: Optional[Dict[FieldType, Tuple[object, ...]]] = None,
+    ) -> Tuple[Dict[str, object], ...]:
+        """Schema-conforming request tuples for differential testing.
+
+        Message *i* takes the ``i``-th exemplar of each field's type
+        (wrapping), so a small count still exercises typical and edge
+        values of every field together. ``literal_pool`` extends the
+        per-type value pools with values mined elsewhere (e.g. literals
+        appearing in a chain's IR) so predicates comparing fields against
+        program constants get driven down both branches.
+        """
+        messages = []
+        for index in range(count):
+            message: Dict[str, object] = {
+                "src": src,
+                "dst": dst,
+                "rpc_id": 1000 + index,
+                "method": method,
+                "kind": "request",
+                "status": "ok",
+            }
+            for name, spec in self.fields.items():
+                pool = spec.type.exemplar_values()
+                if literal_pool and literal_pool.get(spec.type):
+                    pool = pool + tuple(literal_pool[spec.type])
+                message[name] = pool[index % len(pool)]
+            messages.append(message)
+        return tuple(messages)
 
     def validate_message_fields(self, items: Iterable[Tuple[str, object]]) -> None:
         """Raise if any (name, value) pair is ill-typed for this schema."""

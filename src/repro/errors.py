@@ -56,6 +56,28 @@ class BackendError(CompileError):
         self.reasons = list(reasons or [])
 
 
+class TranslationValidationError(CompileError):
+    """A compiler pass produced a chain the translation validator could
+    not prove equivalent to its input.
+
+    Carries the failing pass name, a human-readable counterexample
+    (diverging message plus the first observable difference), and the
+    source span of the rewritten statement nearest the divergence.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pass_name: str = "",
+        counterexample: str = "",
+        span=None,
+    ):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.counterexample = counterexample
+        self.span = span
+
+
 class HeaderLayoutError(CompileError):
     """A wire-header layout violates a platform constraint (for example,
     a field needed by a switch element falls outside the 200-byte parse
@@ -78,7 +100,18 @@ class SimulationError(AdnError):
 
 
 class RuntimeFault(AdnError):
-    """A data-plane processor failed while executing an element."""
+    """A data-plane processor failed while executing an element.
+
+    Carries the source span of the offending expression when known
+    (``span`` is a :class:`repro.dsl.ast_nodes.Span` or None), so tooling
+    can point at the exact DSL text that faulted.
+    """
+
+    def __init__(self, message: str, span=None):
+        if span is not None and getattr(span, "line", 0) > 0:
+            message = f"{message} (line {span.line}, column {span.column})"
+        super().__init__(message)
+        self.span = span
 
 
 class ControlPlaneError(AdnError):

@@ -133,14 +133,22 @@ class EvalEnv:
 
 
 def evaluate(expr: Expr, env: EvalEnv) -> object:
-    """Evaluate an expression to a Python value."""
+    """Evaluate an expression to a Python value.
+
+    Every failure mode — missing field, unbound variable, bad coercion,
+    division by zero — raises :class:`RuntimeFault` carrying the span of
+    the offending (sub-)expression, never a bare ``KeyError``/
+    ``TypeError``/``ZeroDivisionError``.
+    """
     if isinstance(expr, Literal):
         return expr.value
     if isinstance(expr, VarRef):
         try:
             return env.vars[expr.name]
         except KeyError:
-            raise RuntimeFault(f"unbound variable {expr.name!r}") from None
+            raise RuntimeFault(
+                f"unbound variable {expr.name!r}", span=expr.span
+            ) from None
     if isinstance(expr, ColumnRef):
         return _lookup_column(expr, env)
     if isinstance(expr, FuncCall):
@@ -150,8 +158,13 @@ def evaluate(expr: Expr, env: EvalEnv) -> object:
         if expr.op == "not":
             return not _truthy(value)
         if expr.op == "-":
-            return -value  # type: ignore[operator]
-        raise RuntimeFault(f"unknown unary op {expr.op!r}")
+            try:
+                return -value  # type: ignore[operator]
+            except TypeError:
+                raise RuntimeFault(
+                    f"cannot negate {type(value).__name__}", span=expr.span
+                ) from None
+        raise RuntimeFault(f"unknown unary op {expr.op!r}", span=expr.span)
     if isinstance(expr, BinaryOp):
         return _eval_binary(expr, env)
     if isinstance(expr, CaseExpr):
@@ -161,30 +174,38 @@ def evaluate(expr: Expr, env: EvalEnv) -> object:
         if expr.default is not None:
             return evaluate(expr.default, env)
         return None
-    raise RuntimeFault(f"cannot evaluate {expr!r}")
+    raise RuntimeFault(
+        f"cannot evaluate {expr!r}", span=getattr(expr, "span", None)
+    )
 
 
 def _lookup_column(ref: ColumnRef, env: EvalEnv) -> object:
     if ref.table in (None, "input"):
         if ref.name in env.row:
             return env.row[ref.name]
-        raise RuntimeFault(f"input has no field {ref.name!r}")
+        raise RuntimeFault(
+            f"input has no field {ref.name!r}", span=ref.span
+        )
     key = (ref.table, ref.name)
     if key in env.row:
         return env.row[key]
-    raise RuntimeFault(f"row has no column {ref.table}.{ref.name}")
+    raise RuntimeFault(
+        f"row has no column {ref.table}.{ref.name}", span=ref.span
+    )
 
 
 def _call_function(call: FuncCall, env: EvalEnv) -> object:
     if env.registry is None:
-        raise RuntimeFault("no function registry bound")
+        raise RuntimeFault("no function registry bound", span=call.span)
     spec = env.registry.get(call.name)
     if call.name in TABLE_ARG_FUNCS:
         table_name = call.args[0]
         assert isinstance(table_name, ColumnRef)
         table = env.tables.get(table_name.name)
         if table is None:
-            raise RuntimeFault(f"unknown state table {table_name.name!r}")
+            raise RuntimeFault(
+                f"unknown state table {table_name.name!r}", span=call.span
+            )
         if call.name == "count":
             result = len(table)
         elif call.name == "contains":
@@ -200,7 +221,14 @@ def _call_function(call: FuncCall, env: EvalEnv) -> object:
             env.on_func_call(spec, 0)
         return result
     args = [evaluate(arg, env) for arg in call.args]
-    result = spec.impl(*args)
+    try:
+        result = spec.impl(*args)
+    except RuntimeFault:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise RuntimeFault(
+            f"{call.name}() failed: {exc}", span=call.span
+        ) from None
     if env.on_func_call is not None:
         size = 0
         if spec.payload_op and args and isinstance(args[0], (bytes, str)):
@@ -245,10 +273,11 @@ def _eval_binary(expr: BinaryOp, env: EvalEnv) -> object:
         except TypeError:
             raise RuntimeFault(
                 f"cannot compare {type(left).__name__} with "
-                f"{type(right).__name__}"
+                f"{type(right).__name__}",
+                span=expr.span,
             ) from None
     if left is None or right is None:
-        raise RuntimeFault(f"arithmetic {op!r} on NULL")
+        raise RuntimeFault(f"arithmetic {op!r} on NULL", span=expr.span)
     try:
         if op == "+":
             return left + right  # type: ignore[operator]
@@ -263,11 +292,14 @@ def _eval_binary(expr: BinaryOp, env: EvalEnv) -> object:
     except TypeError:
         raise RuntimeFault(
             f"bad operand types for {op!r}: {type(left).__name__}, "
-            f"{type(right).__name__}"
+            f"{type(right).__name__}",
+            span=expr.span,
         ) from None
     except ZeroDivisionError:
-        raise RuntimeFault(f"division by zero in {op!r}") from None
-    raise RuntimeFault(f"unknown binary op {op!r}")
+        raise RuntimeFault(
+            f"division by zero in {op!r}", span=expr.span
+        ) from None
+    raise RuntimeFault(f"unknown binary op {op!r}", span=expr.span)
 
 
 def is_deterministic(expr: Optional[Expr], registry: FunctionRegistry) -> bool:

@@ -227,3 +227,46 @@ class ElementInstance:
         if op.where is not None and not _truthy(evaluate(op.where, env)):
             return
         self.state.vars[op.var] = evaluate(op.expr, env)
+
+
+class ChainExecutor:
+    """Execute a whole element chain over RPC tuples.
+
+    Requests traverse the chain in order; responses traverse it reversed
+    (the receiver-side element runs first on the way back), matching the
+    runtime's dispatch. This is the reference semantics the translation
+    validator replays rewritten chains against, and is also handy in
+    tests that want chain-level behaviour without a simulator.
+    """
+
+    def __init__(
+        self,
+        elements: List[ElementIR],
+        registry: Optional[FunctionRegistry] = None,
+    ):
+        self.instances = [ElementInstance(ir, registry) for ir in elements]
+
+    def process(self, rpc: Row, kind: str) -> List[Row]:
+        """All tuples leaving the far end of the chain for one RPC
+        (``[]`` when some element dropped it; >1 on fan-out)."""
+        ordered = (
+            self.instances
+            if kind == "request"
+            else list(reversed(self.instances))
+        )
+        rows = [dict(rpc)]
+        for instance in ordered:
+            next_rows: List[Row] = []
+            for row in rows:
+                next_rows.extend(instance.process(row, kind))
+            rows = next_rows
+            if not rows:
+                return []
+        return rows
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-element state snapshots, keyed by element name."""
+        return {
+            instance.ir.name: instance.state.snapshot()
+            for instance in self.instances
+        }

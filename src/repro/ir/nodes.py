@@ -24,7 +24,7 @@ The IR is what analyses (:mod:`repro.ir.analysis`), optimizations
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..dsl.ast_nodes import Expr, StateDecl, VarDecl
 from ..dsl.span import Span
@@ -166,6 +166,41 @@ class StatementIR:
             isinstance(op, (InsertRows, InsertLiterals, UpdateRows, DeleteRows))
             for op in self.ops
         )
+
+
+def op_exprs(op: Op) -> Iterator[Expr]:
+    """Yield every expression embedded in one IR operator.
+
+    The single source of truth for "which operator fields hold
+    expressions" — the pass manager's size metric, the abstract type
+    checker, and the dead-field liveness analysis all iterate with this
+    instead of re-listing operator shapes.
+    """
+    if isinstance(op, JoinState):
+        yield op.on
+    elif isinstance(op, FilterRows):
+        yield op.predicate
+    elif isinstance(op, Project):
+        for _, expr in op.items:
+            yield expr
+    elif isinstance(op, UpdateRows):
+        for _, expr in op.assignments:
+            yield expr
+        if op.where is not None:
+            yield op.where
+    elif isinstance(op, DeleteRows):
+        if op.where is not None:
+            yield op.where
+    elif isinstance(op, AssignVar):
+        yield op.expr
+        if op.where is not None:
+            yield op.where
+
+
+def statement_exprs(stmt: "StatementIR") -> Iterator[Expr]:
+    """Yield every expression in a statement pipeline, in op order."""
+    for op in stmt.ops:
+        yield from op_exprs(op)
 
 
 @dataclass(frozen=True)

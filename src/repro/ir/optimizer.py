@@ -35,6 +35,10 @@ class OptimizerOptions:
     parallelize: bool = True
     dead_fields: bool = True
     fusion: bool = False
+    #: run the translation validator after every pass, recording the
+    #: verdict in each PassReport (compile --verify); needs a schema for
+    #: the abstract/concolic checks to run
+    verify: bool = False
 
 
 @dataclass

@@ -174,7 +174,7 @@ def _fold_statement(stmt: StatementIR, registry: FunctionRegistry) -> StatementI
             if folded.predicate.value:
                 continue  # WHERE true: drop the filter entirely
         ops.append(folded)
-    return StatementIR(ops=tuple(ops))
+    return StatementIR(ops=tuple(ops), span=stmt.span)
 
 
 def fold_constants_element(

@@ -148,7 +148,7 @@ def _strip_handler(
                         star_tables=op.star_tables,
                     )
             ops.append(op)
-        statements.append(StatementIR(ops=tuple(ops)))
+        statements.append(StatementIR(ops=tuple(ops), span=stmt.span))
     if not removed:
         return handler, []
     return HandlerIR(kind=handler.kind, statements=tuple(statements)), removed

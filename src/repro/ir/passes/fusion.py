@@ -240,7 +240,10 @@ def _rewrite_statement(
 ) -> StatementIR:
     if not tmap and not vmap:
         return stmt
-    return StatementIR(ops=tuple(_rewrite_op(op, tmap, vmap) for op in stmt.ops))
+    return StatementIR(
+        ops=tuple(_rewrite_op(op, tmap, vmap) for op in stmt.ops),
+        span=stmt.span,
+    )
 
 
 def _rewrite_op(op: Op, tmap: Dict[str, str], vmap: Dict[str, str]) -> Op:

@@ -40,6 +40,19 @@ def parallel_stages(
     return tuple(stages)
 
 
+def stages_partition(
+    stages: Sequence[Tuple[str, ...]],
+    order: Sequence[str],
+) -> bool:
+    """True when the stages are an order-preserving partition of the
+    chain: concatenated in sequence they reproduce the element order
+    exactly. The translation validator uses this as the parallelize
+    pass's structural certificate (staging must never add, drop, or
+    permute elements)."""
+    flattened = [name for stage in stages for name in stage]
+    return flattened == list(order)
+
+
 def stage_cost_us(
     stage: Sequence[str],
     analyses: Dict[str, ElementAnalysis],

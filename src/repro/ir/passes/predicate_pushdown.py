@@ -74,7 +74,7 @@ def _pushdown_statement(stmt: StatementIR) -> StatementIR:
                 late = []
         else:
             ops.append(op)
-    return StatementIR(ops=tuple(ops))
+    return StatementIR(ops=tuple(ops), span=stmt.span)
 
 
 def pushdown_element(element: ElementIR) -> ElementIR:

@@ -57,6 +57,29 @@ def reorder_by_priority(
     return names, changed
 
 
+def inversions(
+    before: Sequence[str], after: Sequence[str]
+) -> List[Tuple[str, str]]:
+    """Pairs whose relative order flipped between the two orders.
+
+    An order produced by adjacent commuting swaps is legal iff every
+    inverted pair commutes, so this is the reorder pass's independent
+    correctness certificate: the translation validator rechecks
+    ``commute`` for exactly these pairs instead of trusting the pass.
+    """
+    position = {name: index for index, name in enumerate(after)}
+    flipped: List[Tuple[str, str]] = []
+    for i, first in enumerate(before):
+        if first not in position:
+            continue  # fused/dropped names have no order to invert
+        for second in before[i + 1 :]:
+            if second not in position:
+                continue
+            if position[second] < position[first]:
+                flipped.append((first, second))
+    return flipped
+
+
 def reorder_for_early_drop(
     order: Sequence[str],
     analyses: Dict[str, ElementAnalysis],

@@ -30,20 +30,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..dsl.span import Span
 from .analysis import ElementAnalysis, analyze_element
 from .dependency import can_parallelize, ordering_violations
 from .expr_utils import op_count
-from .nodes import (
-    AssignVar,
-    DeleteRows,
-    ElementIR,
-    FilterRows,
-    JoinState,
-    Op,
-    Project,
-    StatementIR,
-    UpdateRows,
-)
+from .nodes import ElementIR, StatementIR, op_exprs
 from .passes import (
     eliminate_dead_fields,
     fold_constants_element,
@@ -56,7 +47,13 @@ from .passes import (
 
 @dataclass(frozen=True)
 class PassReport:
-    """What one pass did to one chain (or element set)."""
+    """What one pass did to one chain (or element set).
+
+    When the pipeline runs with ``verify`` enabled, ``validated`` records
+    the translation validator's verdict for this pass (None = validation
+    not run or not applicable), ``verify_ms`` its cost, and on failure
+    ``counterexample``/``counterexample_span`` describe the divergence.
+    """
 
     name: str
     level: str  # "element" | "chain"
@@ -67,6 +64,10 @@ class PassReport:
     legality_ok: bool = True
     skipped: bool = False
     notes: Tuple[str, ...] = ()
+    validated: Optional[bool] = None
+    verify_ms: float = 0.0
+    counterexample: str = ""
+    counterexample_span: Optional[Span] = None
 
     @property
     def ir_delta(self) -> int:
@@ -119,34 +120,12 @@ class Pass:
 # -- IR size metric ------------------------------------------------------
 
 
-def _op_exprs(op: Op):
-    if isinstance(op, JoinState):
-        yield op.on
-    elif isinstance(op, FilterRows):
-        yield op.predicate
-    elif isinstance(op, Project):
-        for _, expr in op.items:
-            yield expr
-    elif isinstance(op, UpdateRows):
-        for _, expr in op.assignments:
-            yield expr
-        if op.where is not None:
-            yield op.where
-    elif isinstance(op, DeleteRows):
-        if op.where is not None:
-            yield op.where
-    elif isinstance(op, AssignVar):
-        yield op.expr
-        if op.where is not None:
-            yield op.where
-
-
 def _statements_size(statements: Sequence[StatementIR]) -> int:
     total = 0
     for stmt in statements:
         total += len(stmt.ops)
         for op in stmt.ops:
-            for expr in _op_exprs(op):
+            for expr in op_exprs(op):
                 total += op_count(expr)
     return total
 
@@ -365,6 +344,7 @@ class PassManager:
         for element in state.elements:
             if element.analysis is None:
                 analyze_element(element, context.registry)
+        verify = bool(getattr(options, "verify", False))
         reports: List[PassReport] = []
         for pass_ in self.passes:
             size_before = chain_ir_size(state.elements)
@@ -382,9 +362,37 @@ class PassManager:
                     )
                 )
                 continue
+            snapshot = list(state.elements) if verify else []
             start = time.perf_counter()
             outcome = pass_.run(state, context)
             wall_ms = (time.perf_counter() - start) * 1000.0
+            validated: Optional[bool] = None
+            verify_ms = 0.0
+            counterexample = ""
+            counterexample_span = None
+            notes = outcome.notes
+            if verify and not outcome.skipped:
+                from ..analysis.validate import validate_rewrite
+
+                verify_start = time.perf_counter()
+                verdict = validate_rewrite(
+                    snapshot,
+                    state.elements,
+                    getattr(context, "schema", None),
+                    context.registry,
+                    pass_name=pass_.name,
+                    stages=state.stages if pass_.name == "parallelize" else (),
+                )
+                verify_ms = (time.perf_counter() - verify_start) * 1000.0
+                validated = verdict.ok
+                counterexample = verdict.counterexample
+                counterexample_span = verdict.span
+                if verdict.counterexample:
+                    notes = notes + (
+                        f"VALIDATION FAILED: {verdict.counterexample}",
+                    )
+                elif verdict.notes:
+                    notes = notes + verdict.notes
             reports.append(
                 PassReport(
                     name=pass_.name,
@@ -395,7 +403,11 @@ class PassManager:
                     wall_ms=wall_ms,
                     legality_ok=outcome.legality_ok,
                     skipped=outcome.skipped,
-                    notes=outcome.notes,
+                    notes=notes,
+                    validated=validated,
+                    verify_ms=verify_ms,
+                    counterexample=counterexample,
+                    counterexample_span=counterexample_span,
                 )
             )
         if not state.stages:
@@ -404,21 +416,33 @@ class PassManager:
 
 
 def format_report_table(reports: Sequence[PassReport]) -> str:
-    """Render pass reports as the aligned table ``--explain`` prints."""
+    """Render pass reports as the aligned table ``--explain`` prints.
+
+    A ``verified`` column (verdict plus validator cost) appears only when
+    at least one pass actually ran under ``--verify``."""
+    verified = any(report.validated is not None for report in reports)
     headers = ("pass", "level", "ir before", "ir after", "rewrites", "ms", "legal")
+    if verified:
+        headers = headers + ("verified",)
     rows = [headers]
     for report in reports:
-        rows.append(
-            (
-                report.name,
-                report.level,
-                str(report.ir_size_before),
-                "skipped" if report.skipped else str(report.ir_size_after),
-                "-" if report.skipped else str(report.rewrites),
-                "-" if report.skipped else f"{report.wall_ms:.2f}",
-                "-" if report.skipped else ("ok" if report.legality_ok else "VIOLATED"),
-            )
+        row = (
+            report.name,
+            report.level,
+            str(report.ir_size_before),
+            "skipped" if report.skipped else str(report.ir_size_after),
+            "-" if report.skipped else str(report.rewrites),
+            "-" if report.skipped else f"{report.wall_ms:.2f}",
+            "-" if report.skipped else ("ok" if report.legality_ok else "VIOLATED"),
         )
+        if verified:
+            if report.validated is None:
+                row = row + ("-",)
+            elif report.validated:
+                row = row + (f"ok ({report.verify_ms:.2f}ms)",)
+            else:
+                row = row + ("FAILED",)
+        rows.append(row)
     widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
     lines = []
     for index, row in enumerate(rows):

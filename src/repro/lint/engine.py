@@ -63,6 +63,9 @@ class LintContext:
     #: consult stdlib analyses for cross-element checks)
     own_elements: List[str] = field(default_factory=list)
     own_apps: List[str] = field(default_factory=list)
+    #: scratch space for rules that share an expensive computation (e.g.
+    #: the ADN5xx family runs the abstract interpreter once, not 5 times)
+    cache: Dict[str, object] = field(default_factory=dict)
 
     def diag(
         self,

@@ -61,4 +61,10 @@ def run_rules(context) -> List[Diagnostic]:
 
 def _load_builtin_rules() -> None:
     """Import the built-in rule modules (registration is import-driven)."""
-    from .rules import cross_element, dead, placement, state_race  # noqa: F401
+    from .rules import (  # noqa: F401
+        cross_element,
+        dead,
+        placement,
+        state_race,
+        typecheck,
+    )

@@ -22,6 +22,7 @@ from ...ir.nodes import (
     JoinState,
     Project,
     UpdateRows,
+    op_exprs,
 )
 from ...ir.passes.constant_folding import fold_expr
 from ..diagnostics import Diagnostic, Severity
@@ -217,7 +218,7 @@ def check_write_only_vars(context) -> List[Diagnostic]:
                         read |= collect_refs(op.expr).vars - {op.var}
                         read |= collect_refs(op.where).vars
                         continue
-                    for expr in _op_exprs(op):
+                    for expr in op_exprs(op):
                         read |= collect_refs(expr).vars
         for decl in ir.vars:
             if decl.name in written and decl.name not in read:
@@ -232,19 +233,3 @@ def check_write_only_vars(context) -> List[Diagnostic]:
                     )
                 )
     return out
-
-
-def _op_exprs(op):
-    if isinstance(op, JoinState):
-        yield op.on
-    elif isinstance(op, FilterRows):
-        yield op.predicate
-    elif isinstance(op, Project):
-        for _name, expr in op.items:
-            yield expr
-    elif isinstance(op, UpdateRows):
-        for _column, expr in op.assignments:
-            yield expr
-        yield op.where
-    elif isinstance(op, DeleteRows):
-        yield op.where

@@ -1,0 +1,131 @@
+"""``ADN501``–``ADN505`` — abstract-interpretation type & effect checks.
+
+These rules front the :mod:`repro.analysis.typecheck` abstract
+interpreter: every handler is interpreted over a product domain of
+type-set × nullability × constancy × interval, and sites where a fault
+is *guaranteed* (or, for the 505 family, merely possible) become
+diagnostics with precise spans.
+
+All five rules share one interpreter run, cached on the lint context:
+each element is checked standalone, and every declared chain is checked
+end-to-end (so a field dropped by one element is a missing-field error
+in the next). Findings are deduplicated by (code, element, message,
+position) and only reported against definitions in the linted file —
+stdlib elements pulled in by a chain reference are analyzed for flow
+but never blamed here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..diagnostics import Diagnostic, Severity
+from ..registry import rule
+
+_CACHE_KEY = "typecheck.findings"
+
+
+def _typecheck_findings(context) -> List:
+    """Run the abstract interpreter once per lint context."""
+    if _CACHE_KEY in context.cache:
+        return context.cache[_CACHE_KEY]
+    from ...analysis.typecheck import TypeFinding, check_chain, check_element
+
+    schema = context.options.schema
+    findings: List[TypeFinding] = []
+    seen = set()
+
+    def add(batch) -> None:
+        for finding in batch:
+            key = finding.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(finding)
+
+    own = set(context.own_elements)
+    for name in context.own_elements:
+        ir = context.irs.get(name)
+        if ir is None:
+            continue  # failed validation: already an ADN102
+        add(check_element(ir, schema, context.registry).findings)
+    for app_name in context.own_apps:
+        app = context.program.apps[app_name]
+        for chain in app.chains:
+            elements = [
+                context.irs[name]
+                for name in chain.elements
+                if name in context.irs
+            ]
+            if not elements:
+                continue
+            report = check_chain(elements, schema, context.registry)
+            # blame only this file's own definitions; stdlib members of
+            # the chain are context, not lint subjects
+            add(f for f in report.findings if f.element in own)
+    context.cache[_CACHE_KEY] = findings
+    return findings
+
+
+def _emit(context, code: str) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for finding in _typecheck_findings(context):
+        if finding.code != code:
+            continue
+        out.append(
+            context.diag(
+                code,
+                Severity.from_name(finding.severity),
+                finding.message,
+                span=finding.span,
+                element=finding.element,
+                fix=finding.fix,
+            )
+        )
+    return out
+
+
+@rule("ADN501", "missing-field-access", Severity.ERROR)
+def check_missing_field(context) -> List[Diagnostic]:
+    """A handler reads a tuple field that is guaranteed absent at that
+    point — never in the schema, or dropped by an earlier projection or
+    upstream chain element. Reads of fields emitted on only *some* paths
+    are warnings."""
+    return _emit(context, "ADN501")
+
+
+@rule("ADN502", "type-mismatch", Severity.ERROR)
+def check_type_mismatch(context) -> List[Diagnostic]:
+    """An operator is applied to operands whose inferred types guarantee
+    a runtime fault: ordering incomparable types, arithmetic on a value
+    that is definitely NULL, or an operand combination every inhabitant
+    of which raises (e.g. ``str - int``). Equality between disjoint
+    types is a warning (legal, but always false)."""
+    return _emit(context, "ADN502")
+
+
+@rule("ADN503", "division-by-zero", Severity.ERROR)
+def check_division_by_zero(context) -> List[Diagnostic]:
+    """The divisor of ``/`` or ``%`` is statically known to be zero —
+    either a literal/folded constant ``0`` or an interval pinned to
+    ``[0, 0]`` — so the handler faults on every invocation that reaches
+    the expression."""
+    return _emit(context, "ADN503")
+
+
+@rule("ADN504", "state-type-conflict", Severity.ERROR)
+def check_state_type_conflict(context) -> List[Diagnostic]:
+    """A write's inferred type conflicts with its declared destination:
+    an INSERT/UPDATE column whose value cannot inhabit the state table's
+    column type, a variable assignment off its declared type, or an
+    emitted field off its schema/meta-field type."""
+    return _emit(context, "ADN504")
+
+
+@rule("ADN505", "possible-fault", Severity.WARNING)
+def check_possible_fault(context) -> List[Diagnostic]:
+    """A fault the checker cannot rule out but also cannot prove: a
+    divisor whose interval contains zero, or arithmetic on a nullable
+    operand (NULL arithmetic raises at runtime). Guard the expression
+    (CASE / coalesce) or tighten the upstream write to discharge it."""
+    return _emit(context, "ADN505")

@@ -1,0 +1,266 @@
+"""Per-pass translation validation: every optimizer pass is checked
+against the pre-pass chain (abstract environments + concolic replay),
+the verdict lands in its PassReport, a deliberately-miscompiling mutant
+pass is rejected with a span-carrying counterexample, and ``compile
+--verify`` refuses to emit artifacts for a failed pipeline."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.validate import ValidationVerdict, validate_rewrite
+from repro.cli import main
+from repro.compiler.compiler import AdnCompiler
+from repro.dsl import FieldType, FunctionRegistry, RpcSchema, load_stdlib
+from repro.dsl.ast_nodes import Literal
+from repro.errors import TranslationValidationError
+from repro.ir.analysis import analyze_element
+from repro.ir.builder import build_element_ir
+from repro.ir.nodes import HandlerIR, Project, StatementIR
+from repro.ir.optimizer import ChainContext, OptimizerOptions, optimize_chain
+from repro.ir.passes.reorder import inversions
+from repro.ir.passmgr import (
+    Pass,
+    PassManager,
+    PassOutcome,
+    default_pipeline,
+    format_report_table,
+)
+
+SCHEMA = RpcSchema.of(
+    "t", payload=FieldType.BYTES, username=FieldType.STR, obj_id=FieldType.INT
+)
+PAPER_CHAIN = ("Logging", "Acl", "Fault")
+
+
+def build_chain(names, registry):
+    program = load_stdlib(schema=SCHEMA)
+    irs = []
+    for name in names:
+        ir = build_element_ir(program.elements[name])
+        analyze_element(ir, registry)
+        irs.append(ir)
+    return irs
+
+
+@pytest.fixture
+def registry():
+    return FunctionRegistry()
+
+
+@pytest.fixture
+def paper_chain(registry):
+    return build_chain(PAPER_CHAIN, registry)
+
+
+def corrupt_first_projection(ir, registry):
+    """Rewrite the first Project item of the request handler to a bogus
+    constant — a model miscompile that type-checks but changes values."""
+    handler = ir.handlers["request"]
+    statements = []
+    changed = False
+    for stmt in handler.statements:
+        ops = []
+        for op in stmt.ops:
+            if isinstance(op, Project) and op.items and not changed:
+                items = list(op.items)
+                alias, old = items[0]
+                items[0] = (alias, Literal(value=12345, span=old.span))
+                op = dataclasses.replace(op, items=tuple(items))
+                changed = True
+            ops.append(op)
+        statements.append(StatementIR(ops=tuple(ops), span=stmt.span))
+    handlers = dict(ir.handlers)
+    handlers["request"] = HandlerIR(
+        kind="request", statements=tuple(statements)
+    )
+    mutated = dataclasses.replace(ir, handlers=handlers)
+    analyze_element(mutated, registry)
+    return mutated
+
+
+class MutantPass(Pass):
+    """A registered pass that silently miscompiles the first element."""
+
+    name = "mutant"
+    level = "chain"
+
+    def enabled(self, options):
+        return True
+
+    def run(self, state, context):
+        state.elements[0] = corrupt_first_projection(
+            state.elements[0], context.registry
+        )
+        return PassOutcome(rewrites=1)
+
+
+class TestValidateRewrite:
+    def test_identical_chains_validate_structurally(
+        self, paper_chain, registry
+    ):
+        verdict = validate_rewrite(
+            paper_chain, list(paper_chain), SCHEMA, registry
+        )
+        assert verdict.ok is True
+        assert any("structurally identical" in n for n in verdict.notes)
+
+    def test_mutant_rewrite_rejected_with_span(self, paper_chain, registry):
+        mutated = [
+            corrupt_first_projection(paper_chain[0], registry)
+        ] + paper_chain[1:]
+        verdict = validate_rewrite(
+            paper_chain, mutated, SCHEMA, registry, pass_name="mutant"
+        )
+        assert verdict.ok is False
+        assert verdict.counterexample
+        assert verdict.span is not None
+        assert verdict.span.line > 0
+
+    def test_no_schema_yields_unknown_verdict(self, paper_chain, registry):
+        mutated = [
+            corrupt_first_projection(paper_chain[0], registry)
+        ] + paper_chain[1:]
+        verdict = validate_rewrite(paper_chain, mutated, None, registry)
+        assert verdict.ok is None
+
+    def test_illegal_swap_rejected_by_certificate(
+        self, paper_chain, registry
+    ):
+        # Acl drops RPCs, Logging records them: swapping changes what is
+        # logged, and dependency analysis knows they do not commute.
+        swapped = [paper_chain[1], paper_chain[0], paper_chain[2]]
+        verdict = validate_rewrite(
+            paper_chain, swapped, SCHEMA, registry, pass_name="reorder"
+        )
+        assert verdict.ok is False
+        assert "commute" in verdict.counterexample
+
+    def test_bogus_stages_rejected(self, paper_chain, registry):
+        verdict = validate_rewrite(
+            paper_chain,
+            list(paper_chain),
+            SCHEMA,
+            registry,
+            stages=(("Acl",), ("Logging", "Fault")),
+        )
+        assert verdict.ok is False
+        assert "partition" in verdict.counterexample
+
+
+class TestInversions:
+    def test_detects_flipped_pairs(self):
+        assert inversions(["a", "b", "c"], ["b", "a", "c"]) == [("a", "b")]
+
+    def test_ignores_fused_away_names(self):
+        # fusion replaces members with a combined element; absent names
+        # must not read as order violations
+        assert inversions(["a", "b", "c"], ["a", "b__c"]) == []
+
+    def test_identity_has_no_inversions(self):
+        assert inversions(["a", "b"], ["a", "b"]) == []
+
+
+class TestPassManagerVerify:
+    def test_all_passes_validated_on_paper_chain(self, paper_chain, registry):
+        context = ChainContext(registry=registry, schema=SCHEMA)
+        options = OptimizerOptions(fusion=True, verify=True)
+        chain = optimize_chain(paper_chain, context, options)
+        ran = [r for r in chain.pass_reports if not r.skipped]
+        assert len(ran) == 6
+        for report in ran:
+            assert report.validated is True, (
+                f"{report.name}: {report.counterexample}"
+            )
+            assert report.verify_ms >= 0.0
+
+    def test_verify_off_leaves_reports_unvalidated(
+        self, paper_chain, registry
+    ):
+        context = ChainContext(registry=registry, schema=SCHEMA)
+        chain = optimize_chain(paper_chain, context, OptimizerOptions())
+        assert all(r.validated is None for r in chain.pass_reports)
+
+    def test_mutant_pass_flagged_in_report(self, paper_chain, registry):
+        manager = PassManager(passes=default_pipeline() + [MutantPass()])
+        context = ChainContext(registry=registry, schema=SCHEMA)
+        options = OptimizerOptions(verify=True)
+        chain = optimize_chain(
+            paper_chain, context, options, manager=manager
+        )
+        by_name = {r.name: r for r in chain.pass_reports}
+        assert by_name["mutant"].validated is False
+        assert by_name["mutant"].counterexample
+        assert by_name["mutant"].counterexample_span is not None
+        assert any(
+            "VALIDATION FAILED" in note for note in by_name["mutant"].notes
+        )
+
+    def test_report_table_gains_verified_column(self, paper_chain, registry):
+        context = ChainContext(registry=registry, schema=SCHEMA)
+        chain = optimize_chain(
+            paper_chain, context, OptimizerOptions(verify=True)
+        )
+        table = format_report_table(chain.pass_reports)
+        assert "verified" in table
+        assert "ok (" in table
+        plain = optimize_chain(
+            build_chain(PAPER_CHAIN, registry), context, OptimizerOptions()
+        )
+        assert "verified" not in format_report_table(plain.pass_reports)
+
+
+class TestCompilerRefusal:
+    def test_failed_validation_blocks_artifacts(self, registry, monkeypatch):
+        import repro.ir.optimizer as optimizer_module
+
+        monkeypatch.setattr(
+            optimizer_module,
+            "PassManager",
+            lambda: PassManager(passes=default_pipeline() + [MutantPass()]),
+        )
+        compiler = AdnCompiler(
+            registry=registry, options=OptimizerOptions(verify=True)
+        )
+        program = load_stdlib(schema=SCHEMA)
+        from repro.dsl.ast_nodes import ChainDecl
+
+        with pytest.raises(TranslationValidationError) as excinfo:
+            compiler.compile_chain(
+                ChainDecl(src="A", dst="B", elements=PAPER_CHAIN),
+                program,
+                SCHEMA,
+            )
+        error = excinfo.value
+        assert error.pass_name == "mutant"
+        assert error.counterexample
+        assert error.span is not None
+        assert compiler.cache_stats.lookups == 0  # nothing emitted/cached
+
+    def test_verify_off_compiles_same_chain(self, registry):
+        compiler = AdnCompiler(registry=registry)
+        program = load_stdlib(schema=SCHEMA)
+        from repro.dsl.ast_nodes import ChainDecl
+
+        chain = compiler.compile_chain(
+            ChainDecl(src="A", dst="B", elements=PAPER_CHAIN),
+            program,
+            SCHEMA,
+        )
+        assert set(chain.elements) == set(PAPER_CHAIN)
+
+
+class TestCliVerify:
+    def test_verify_green_on_examples(self, capsys):
+        assert main(["compile", "--verify", "examples/explain_demo.adn"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "FAILED" not in out
+
+    def test_verify_reports_replayed_messages(self, capsys):
+        assert (
+            main(["compile", "--verify", "examples/typecheck_demo.adn"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "identical" in out
