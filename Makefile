@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples check-all lint typecheck loc
+.PHONY: install test bench faults examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -33,6 +33,13 @@ typecheck:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+faults:
+	@# the seeded fault soak (small trial count) plus the end-to-end
+	@# crash-recovery scenario and the faults CLI demo
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos.py -q -k fault_soak
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py -q -k RecoveryScenario
+	PYTHONPATH=src $(PYTHON) -m repro faults --rpcs 2000
 
 examples:
 	$(PYTHON) examples/quickstart.py

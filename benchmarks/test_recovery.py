@@ -1,0 +1,145 @@
+"""Recovery disruption vs. state size (§5.2, extended to crashes).
+
+The paper's claim for planned migration — "the system only needs to
+migrate the new updates after the last migration", so disruption tracks
+the delta backlog, not the state-table size — must survive *unplanned*
+failures too: the checkpointer's warm standby already holds the folded
+shadow when the machine dies, so the restore blackout pays only the
+streamed-but-unfolded backlog plus a fixed flip.
+
+Two sweeps over the crash-recovery scenario pin both halves:
+
+* resident table size 100 -> 4000 rows, identical workload: the restore
+  blackout must stay flat;
+* crash later and later into the same workload (a growing un-folded
+  backlog): the blackout must grow with the backlog it replays.
+"""
+
+import pytest
+
+from repro.faults import default_crash_plan, run_recovery_scenario
+
+from bench_harness import bench_assert, print_table
+
+TABLE_SIZES = [100, 1000, 4000]
+CRASH_TIMES_S = [0.004, 0.008, 0.016]
+
+#: fold cadence pushed out of the run entirely so the backlog at the
+#: crash is exactly what streamed since the start — the knob the second
+#: sweep turns
+NEVER_FOLD = 10**6
+
+
+def run_for(table_rows: int, crash_at_s: float):
+    return run_recovery_scenario(
+        seed=2,
+        total_rpcs=2500,
+        table_rows=table_rows,
+        fault_plan=default_crash_plan(seed=2, crash_at_s=crash_at_s),
+        fold_every=NEVER_FOLD,
+    )
+
+
+@pytest.fixture(scope="module")
+def size_sweep():
+    return {
+        rows: run_for(table_rows=rows, crash_at_s=0.008)
+        for rows in TABLE_SIZES
+    }
+
+
+@pytest.fixture(scope="module")
+def backlog_sweep():
+    return {
+        crash_at: run_for(table_rows=500, crash_at_s=crash_at)
+        for crash_at in CRASH_TIMES_S
+    }
+
+
+def test_recovery_tables(size_sweep, backlog_sweep, benchmark):
+    def report():
+        print_table(
+            "Restore blackout vs. resident table size (crash at 8 ms)",
+            rows=[f"{rows} rows" for rows in TABLE_SIZES],
+            columns=["restore_us", "replayed", "unavail_ms"],
+            cell=lambda row, col: {
+                "restore_us": size_sweep[int(row.split()[0])].report.restore_s
+                * 1e6,
+                "replayed": float(
+                    size_sweep[int(row.split()[0])].report.deltas_replayed
+                ),
+                "unavail_ms": size_sweep[
+                    int(row.split()[0])
+                ].report.unavailability_s
+                * 1e3,
+            }[col],
+        )
+        return print_table(
+            "Restore blackout vs. delta backlog (500 resident rows)",
+            rows=[f"crash at {at * 1e3:.0f} ms" for at in CRASH_TIMES_S],
+            columns=["restore_us", "replayed", "unavail_ms"],
+            cell=lambda row, col: {
+                "restore_us": backlog_sweep[
+                    float(row.split()[2]) * 1e-3
+                ].report.restore_s
+                * 1e6,
+                "replayed": float(
+                    backlog_sweep[
+                        float(row.split()[2]) * 1e-3
+                    ].report.deltas_replayed
+                ),
+                "unavail_ms": backlog_sweep[
+                    float(row.split()[2]) * 1e-3
+                ].report.unavailability_s
+                * 1e3,
+            }[col],
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_blackout_flat_in_table_size(size_sweep, benchmark):
+    def check():
+        blackouts = [
+            size_sweep[rows].report.restore_s for rows in TABLE_SIZES
+        ]
+        # 40x more resident state, same blackout: nothing in the restore
+        # path touches the table body
+        assert max(blackouts) <= min(blackouts) * 1.2, blackouts
+        # while the state itself did arrive
+        for rows in TABLE_SIZES:
+            assert size_sweep[rows].report.rows_restored >= rows
+
+    bench_assert(benchmark, check)
+
+
+def test_blackout_grows_with_backlog(backlog_sweep, benchmark):
+    def check():
+        replayed = [
+            backlog_sweep[at].report.deltas_replayed for at in CRASH_TIMES_S
+        ]
+        blackouts = [
+            backlog_sweep[at].report.restore_s for at in CRASH_TIMES_S
+        ]
+        # later crash => more un-folded deltas => longer replay
+        assert replayed == sorted(replayed) and replayed[0] < replayed[-1], (
+            replayed
+        )
+        assert blackouts == sorted(blackouts) and (
+            blackouts[0] < blackouts[-1]
+        ), blackouts
+
+    bench_assert(benchmark, check)
+
+
+def test_workload_survives_every_sweep_point(
+    size_sweep, backlog_sweep, benchmark
+):
+    def check():
+        for result in list(size_sweep.values()) + list(
+            backlog_sweep.values()
+        ):
+            assert result.metrics.completed == result.total_rpcs
+            assert result.metrics.aborted == 0
+
+    bench_assert(benchmark, check)

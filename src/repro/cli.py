@@ -6,7 +6,9 @@ Commands:
 * ``fmt``     — pretty-print a DSL file in canonical form;
 * ``compile`` — compile and show the legality matrix or emitted code;
 * ``plan``    — solve placement for an app's chain and show the layout;
-* ``bench``   — quick simulated run of a chain on a chosen stack.
+* ``bench``   — quick simulated run of a chain on a chosen stack;
+* ``faults``  — fault-injection demo: crash a machine mid-workload and
+  print the fault timeline plus the recovery report.
 
 The RPC schema is given as repeated ``--field name:type`` options
 (types: str, int, float, bool, bytes). A reasonable default schema
@@ -412,6 +414,61 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .faults import (
+        FaultPlan,
+        default_crash_plan,
+        default_retry_policy,
+        run_recovery_scenario,
+    )
+
+    if args.plan:
+        with open(args.plan) as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        plan = default_crash_plan(seed=args.seed, crash_at_s=args.crash_at)
+    result = run_recovery_scenario(
+        seed=args.seed,
+        total_rpcs=args.rpcs,
+        concurrency=args.concurrency,
+        table_rows=args.table_rows,
+        fault_plan=plan,
+        retry_policy=default_retry_policy(seed=args.seed),
+    )
+    metrics = result.metrics
+    stats = result.stack.retry_stats
+    print("fault plan:")
+    for event in result.fault_plan.events:
+        duration = (
+            f" for {event.duration_s * 1e3:.1f} ms"
+            if event.duration_s is not None
+            else ""
+        )
+        print(f"  t={event.at_s * 1e3:8.2f} ms  {event.kind} "
+              f"{event.target}{duration}")
+    print("timeline:")
+    for entry in result.timeline:
+        detail = f"  ({entry.detail})" if entry.detail else ""
+        print(f"  t={entry.at_s * 1e3:8.2f} ms  {entry.action:7s} "
+              f"{entry.kind} {entry.target}{detail}")
+    print()
+    print(f"workload    : {metrics.completed}/{metrics.issued} completed "
+          f"(aborted {metrics.aborted})")
+    print(f"data plane  : {result.stack.rpcs_lost} attempts lost, "
+          f"{stats.retries} retries, {stats.timeouts} timeouts, "
+          f"{result.stack.duplicate_server_executions} duplicate "
+          f"server executions")
+    print(f"tail writes : {result.checkpointer.tail_writes_lost} "
+          f"delta(s) lost with the crashed memory")
+    print()
+    report = result.report
+    if report is None:
+        print("no recovery was triggered")
+        return 1
+    print(report.summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -525,6 +582,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rpcs", type=int, default=4000)
     add_fields(bench)
     bench.set_defaults(func=cmd_bench)
+
+    faults = sub.add_parser(
+        "faults",
+        help="crash a machine mid-workload; show detection and recovery",
+    )
+    faults.add_argument(
+        "--plan", metavar="PLAN.json",
+        help="fault plan JSON (default: crash stats-host at --crash-at)",
+    )
+    faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument("--rpcs", type=int, default=3000)
+    faults.add_argument("--concurrency", type=int, default=4)
+    faults.add_argument(
+        "--table-rows", type=int, default=500,
+        help="resident state rows that predate the workload",
+    )
+    faults.add_argument(
+        "--crash-at", type=float, default=0.01, metavar="SECONDS",
+        help="when the default plan crashes stats-host",
+    )
+    faults.set_defaults(func=cmd_faults)
     return parser
 
 

@@ -1,7 +1,13 @@
 """Control plane: mini cluster manager, the ADN controller, placement
 solver, and autoscaler."""
 
-from .controller import AdnController, InstalledChain, ReconcileRecord
+from .controller import (
+    AdnController,
+    InstalledChain,
+    ReconcileRecord,
+    RecoveryOrchestrator,
+    RecoveryReport,
+)
 from .k8s import (
     ADDED,
     DELETED,
@@ -36,6 +42,8 @@ __all__ = [
     "PlacementRequest",
     "PlacementSolver",
     "ReconcileRecord",
+    "RecoveryOrchestrator",
+    "RecoveryReport",
     "ResourceObject",
     "ScalingEvent",
     "solve_placement",

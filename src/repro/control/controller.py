@@ -17,7 +17,7 @@ operators use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..compiler.compiler import AdnCompiler, CompiledApp, CompiledChain
 from ..dsl.parser import parse
@@ -273,3 +273,220 @@ class AdnController:
         installed.stack = stack
         self._push_endpoints([])
         return stack
+
+
+# -- self-healing recovery (repro.faults) -----------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery did, in the §5.2 vocabulary: the blackout the
+    application saw, split into detection and repair, with the state
+    volumes that explain it."""
+
+    machine: str
+    suspected_at: float
+    recovered_at: float
+    #: ground-truth crash instant when the injector shared it (a real
+    #: controller only knows ``suspected_at``)
+    crashed_at: Optional[float] = None
+    rows_restored: int = 0
+    deltas_replayed: int = 0
+    elements_moved: Tuple[str, ...] = ()
+    plan_description: str = ""
+    restore_s: float = 0.0
+    #: data-plane counters at recovery completion (cumulative per stack)
+    rpcs_lost: int = 0
+    rpcs_retried: int = 0
+    duplicate_server_executions: int = 0
+
+    @property
+    def detection_latency_s(self) -> Optional[float]:
+        if self.crashed_at is None:
+            return None
+        return self.suspected_at - self.crashed_at
+
+    @property
+    def unavailability_s(self) -> float:
+        """The application-visible window: from the crash (or, without
+        ground truth, the suspicion) until the re-solved plan with
+        restored state is serving."""
+        start = self.crashed_at if self.crashed_at is not None else self.suspected_at
+        return self.recovered_at - start
+
+    def summary(self) -> str:
+        lines = [
+            f"machine {self.machine} recovered in "
+            f"{self.unavailability_s * 1e3:.2f} ms",
+        ]
+        if self.detection_latency_s is not None:
+            lines.append(
+                f"  detection latency: {self.detection_latency_s * 1e3:.2f} ms"
+            )
+        lines.append(
+            f"  state restored: {self.rows_restored} rows, "
+            f"{self.deltas_replayed} deltas replayed "
+            f"({self.restore_s * 1e6:.1f} us blackout restore)"
+        )
+        lines.append(
+            f"  elements moved: {', '.join(self.elements_moved) or '(none)'}"
+        )
+        lines.append(f"  new plan: {self.plan_description}")
+        lines.append(
+            f"  data plane: {self.rpcs_lost} attempts lost, "
+            f"{self.rpcs_retried} retries, "
+            f"{self.duplicate_server_executions} duplicate server executions"
+        )
+        return "\n".join(lines)
+
+
+class RecoveryOrchestrator:
+    """Reacts to failure-detector suspicions by healing one stack:
+    re-solve placement on the surviving cluster, swap the plan in, and
+    restore displaced element state from the checkpointer's warm
+    standby (shadow + delta backlog).
+
+    Wire it up with ``detector.on_suspect(orchestrator.suspect_sink)``.
+    Recovery only re-homes elements; if the suspect machine is one of
+    the ClusterSpec hosts themselves (the apps' homes), the re-solve
+    still targets them — this orchestrator heals the *element* layer,
+    matching the paper's controller scope.
+    """
+
+    def __init__(
+        self,
+        sim,
+        stack: AdnMrpcStack,
+        schema: RpcSchema,
+        cluster_spec: Optional[ClusterSpec] = None,
+        strategy: str = "software",
+        checkpointer=None,
+        telemetry=None,
+        detector=None,
+        crash_times: Optional[Dict[str, float]] = None,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.schema = schema
+        self.cluster_spec = cluster_spec or ClusterSpec()
+        self.strategy = strategy
+        self.checkpointer = checkpointer
+        self.telemetry = telemetry
+        self.detector = detector
+        #: injector ground truth (FaultInjector.crash_times), if shared
+        self.crash_times = crash_times if crash_times is not None else {}
+        self.reports: List[RecoveryReport] = []
+        self._in_progress: set = set()
+
+    def suspect_sink(self, suspicion) -> None:
+        """Detector callback: start recovery if the suspect machine
+        hosts any of our stack's processors."""
+        machine = suspicion.machine
+        if machine in self._in_progress:
+            return
+        hosted = [
+            seg for seg in self.stack.plan.segments if seg.machine == machine
+        ]
+        if not hosted:
+            return
+        self._in_progress.add(machine)
+        self.sim.process(self._recover(machine, suspicion.at_s))
+
+    def _recover(self, machine: str, suspected_at: float) -> Generator:
+        stack = self.stack
+        old_locations = stack.plan.element_locations()
+        displaced = tuple(
+            name
+            for name, (_platform, location) in old_locations.items()
+            if location == machine
+        )
+        # the dead host's un-streamed delta-log tail is gone; account it
+        if self.checkpointer is not None:
+            for element in displaced:
+                if element in getattr(self.checkpointer, "_watches", {}):
+                    self.checkpointer.mark_crashed(element)
+        # re-solve on the surviving cluster: the solver only ever places
+        # on the ClusterSpec hosts and the switch, so a crashed third
+        # machine drops out of the plan naturally
+        request = PlacementRequest(
+            chain=stack.chain,
+            schema=self.schema,
+            cluster=self.cluster_spec,
+            strategy=self.strategy,
+        )
+        new_plan = solve_placement(request)
+        old_processors = stack.apply_plan(new_plan)
+        if self.telemetry is not None:
+            for processor in old_processors:
+                self.telemetry.deregister(processor)
+            self.telemetry.register_stack(stack)
+        # survivors keep their state: their machines never lost memory,
+        # so the rebuild carries it over directly (a warm local copy,
+        # off the blackout path)
+        old_state: Dict[str, object] = {}
+        for processor in old_processors:
+            for name in processor.segment.elements:
+                if name not in displaced:
+                    old_state[name] = processor.element_state(name).snapshot()
+        for processor in stack.processors:
+            for name in processor.segment.elements:
+                if name in old_state:
+                    processor.element_state(name).load_snapshot(
+                        old_state[name]
+                    )
+        # displaced elements restore from the warm standby: shadow is
+        # already resident, the blackout pays only the backlog replay
+        rows_restored = 0
+        deltas_replayed = 0
+        restore_s = 0.0
+        if self.checkpointer is not None:
+            watched = getattr(self.checkpointer, "_watches", {})
+            for element in displaced:
+                if element not in watched:
+                    continue
+                target = self._store_of(element)
+                if target is None:
+                    continue
+                restore = yield self.sim.process(
+                    self.checkpointer.restore(element, target)
+                )
+                rows_restored += restore.rows_restored
+                deltas_replayed += restore.deltas_replayed
+                restore_s += restore.restore_s
+                new_home = stack.plan.element_locations()[element][1]
+                self.checkpointer.retarget(
+                    element,
+                    target,
+                    live_of=lambda home=new_home: stack.cluster.machine_up(
+                        home
+                    ),
+                )
+        if self.detector is not None:
+            self.detector.clear(machine)
+        report = RecoveryReport(
+            machine=machine,
+            suspected_at=suspected_at,
+            recovered_at=self.sim.now,
+            crashed_at=self.crash_times.get(machine),
+            rows_restored=rows_restored,
+            deltas_replayed=deltas_replayed,
+            elements_moved=displaced,
+            plan_description=new_plan.description,
+            restore_s=restore_s,
+            rpcs_lost=stack.rpcs_lost,
+            rpcs_retried=(
+                stack.retry_stats.retries
+                if stack.retry_stats is not None
+                else 0
+            ),
+            duplicate_server_executions=stack.duplicate_server_executions,
+        )
+        self.reports.append(report)
+        self._in_progress.discard(machine)
+        return report
+
+    def _store_of(self, element: str):
+        for processor in self.stack.processors:
+            if element in processor.segment.elements:
+                return processor.element_state(element)
+        return None

@@ -72,6 +72,7 @@ KNOWN_META_KEYS = frozenset(
         "sample_rate",
         "capacity",
         "ttl_s",
+        "checkpoint",  # bool: stream this element's state to a warm standby
     }
 )
 

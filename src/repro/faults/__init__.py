@@ -1,0 +1,56 @@
+"""Fault injection, failure detection, and self-healing recovery.
+
+The subsystem that turns the repo from "simulates ADN" into "simulates
+ADN under failure": seeded :class:`FaultPlan` schedules drive a
+:class:`FaultInjector` against the simulated substrate; a phi-accrual
+:class:`HeartbeatFailureDetector` watches telemetry fall silent; and the
+:class:`~repro.control.controller.RecoveryOrchestrator` re-solves
+placement and restores state from the
+:class:`~repro.state.checkpoint.Checkpointer`'s warm standby.
+"""
+
+from .detector import HeartbeatFailureDetector, Suspicion
+from .injector import FaultInjector, TimelineEntry
+from .plan import (
+    FAULT_KINDS,
+    LINK_LATENCY,
+    LINK_LOSS,
+    LINK_PARTITION,
+    MACHINE_CRASH,
+    PROCESSOR_HANG,
+    PROCESSOR_SLOWDOWN,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    random_single_fault_plan,
+)
+from .scenario import (
+    STATS_MACHINE,
+    ScenarioResult,
+    default_crash_plan,
+    default_retry_policy,
+    run_recovery_scenario,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "LINK_LATENCY",
+    "LINK_LOSS",
+    "LINK_PARTITION",
+    "MACHINE_CRASH",
+    "PROCESSOR_HANG",
+    "PROCESSOR_SLOWDOWN",
+    "STATS_MACHINE",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "HeartbeatFailureDetector",
+    "ScenarioResult",
+    "Suspicion",
+    "TimelineEntry",
+    "default_crash_plan",
+    "default_retry_policy",
+    "random_single_fault_plan",
+    "run_recovery_scenario",
+]

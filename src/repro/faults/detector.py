@@ -1,0 +1,154 @@
+"""Heartbeat failure detection over telemetry reports (paper §5.3).
+
+Processors already "periodically send reports … back to the controller";
+those reports double as heartbeats. :class:`HeartbeatFailureDetector` is
+a telemetry sink plus a polling process: it tracks per-machine report
+inter-arrival statistics and computes a **phi-accrual** suspicion level
+(Hayashibara et al.) under an exponential inter-arrival model::
+
+    phi(machine) = (time_since_last_report / mean_interval) * log10(e)
+
+Phi crossing ``phi_threshold`` — or silence beyond the hard timeout
+floor, which bounds detection time while statistics are still thin —
+marks the machine *suspect* and fires the registered callbacks (the
+recovery orchestrator's trigger).
+
+A crashed machine stops heartbeating because :meth:`TelemetryCollector.
+sample` skips non-live processors; the detector only ever sees silence,
+never the fault itself.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Generator, List
+
+from ..runtime.telemetry import ProcessorReport
+from ..sim.engine import Simulator
+
+_LOG10_E = math.log10(math.e)
+
+
+@dataclass(frozen=True)
+class Suspicion:
+    """One machine going suspect."""
+
+    machine: str
+    at_s: float
+    phi: float
+    silent_for_s: float
+
+
+@dataclass
+class _Arrivals:
+    last_at: float
+    intervals: Deque[float] = field(default_factory=lambda: deque(maxlen=32))
+
+    def mean_interval(self, fallback: float) -> float:
+        if not self.intervals:
+            return fallback
+        return sum(self.intervals) / len(self.intervals)
+
+
+SuspectCallback = Callable[[Suspicion], None]
+
+
+class HeartbeatFailureDetector:
+    """Phi-accrual failure detector fed by telemetry reports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        heartbeat_interval_s: float = 0.05,
+        phi_threshold: float = 8.0,
+        hard_timeout_s: float = 0.0,
+        poll_interval_s: float = 0.0,
+    ):
+        self.sim = sim
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.phi_threshold = phi_threshold
+        #: silence floor that suspects regardless of phi (covers the
+        #: cold start, when one missing report barely moves phi)
+        self.hard_timeout_s = hard_timeout_s or 4.0 * heartbeat_interval_s
+        self.poll_interval_s = poll_interval_s or heartbeat_interval_s / 2.0
+        self._arrivals: Dict[str, _Arrivals] = {}
+        self.suspects: Dict[str, Suspicion] = {}
+        self._callbacks: List[SuspectCallback] = []
+
+    # -- telemetry side ------------------------------------------------------
+
+    def expect(self, machine: str) -> None:
+        """Start watching a machine before its first report. Without
+        priming, a machine that dies before it ever heartbeats is
+        invisible to the detector — the classic cold-start hole; the
+        hard timeout then runs from now."""
+        if machine not in self._arrivals:
+            self._arrivals[machine] = _Arrivals(last_at=self.sim.now)
+
+    def sink(self, report: ProcessorReport) -> None:
+        """Feed one telemetry report in (register with
+        ``collector.add_sink(detector.sink)``)."""
+        arrivals = self._arrivals.get(report.machine)
+        if arrivals is None:
+            self._arrivals[report.machine] = _Arrivals(last_at=report.at_s)
+            return
+        if report.at_s > arrivals.last_at:
+            arrivals.intervals.append(report.at_s - arrivals.last_at)
+            arrivals.last_at = report.at_s
+        # a heartbeat from a suspect rehabilitates it (restart, or a
+        # false positive under load)
+        self.suspects.pop(report.machine, None)
+
+    # -- suspicion -----------------------------------------------------------
+
+    def phi(self, machine: str) -> float:
+        """Current suspicion level for a machine (0 = just heard from)."""
+        arrivals = self._arrivals.get(machine)
+        if arrivals is None:
+            return 0.0
+        elapsed = self.sim.now - arrivals.last_at
+        mean = arrivals.mean_interval(self.heartbeat_interval_s)
+        if mean <= 0:
+            mean = self.heartbeat_interval_s
+        return (elapsed / mean) * _LOG10_E
+
+    def check(self) -> List[Suspicion]:
+        """Evaluate every tracked machine once; returns new suspicions."""
+        fresh: List[Suspicion] = []
+        for machine, arrivals in self._arrivals.items():
+            if machine in self.suspects:
+                continue
+            elapsed = self.sim.now - arrivals.last_at
+            phi = self.phi(machine)
+            if phi >= self.phi_threshold or elapsed >= self.hard_timeout_s:
+                suspicion = Suspicion(
+                    machine=machine,
+                    at_s=self.sim.now,
+                    phi=phi,
+                    silent_for_s=elapsed,
+                )
+                self.suspects[machine] = suspicion
+                fresh.append(suspicion)
+        for suspicion in fresh:
+            for callback in self._callbacks:
+                callback(suspicion)
+        return fresh
+
+    def on_suspect(self, callback: SuspectCallback) -> None:
+        self._callbacks.append(callback)
+
+    def clear(self, machine: str) -> None:
+        """Forget a suspicion (the orchestrator finished recovering)."""
+        self.suspects.pop(machine, None)
+        arrivals = self._arrivals.get(machine)
+        if arrivals is not None:
+            arrivals.last_at = self.sim.now
+
+    def run(self, duration_s: float) -> Generator:
+        """Simulation process: poll suspicion on an interval."""
+        deadline = self.sim.now + duration_s
+        while self.sim.now < deadline:
+            yield self.sim.timeout(self.poll_interval_s)
+            self.check()

@@ -1,0 +1,181 @@
+"""Fault plans: declarative, seeded schedules of infrastructure faults.
+
+A :class:`FaultPlan` is data, not code — a list of timestamped
+:class:`FaultEvent` entries plus a seed — so an experiment's failure
+scenario round-trips through JSON (``python -m repro faults --plan
+plan.json``) and replays bit-identically: the injector applies events in
+timestamp order and seeds every stochastic knob (link loss) from the
+plan's seed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import AdnError
+
+
+class FaultPlanError(AdnError):
+    """A malformed fault plan."""
+
+
+#: fault kinds the injector understands
+MACHINE_CRASH = "machine_crash"
+PROCESSOR_HANG = "processor_hang"
+PROCESSOR_SLOWDOWN = "processor_slowdown"
+LINK_PARTITION = "link_partition"
+LINK_LOSS = "link_loss"
+LINK_LATENCY = "link_latency"
+
+FAULT_KINDS = (
+    MACHINE_CRASH,
+    PROCESSOR_HANG,
+    PROCESSOR_SLOWDOWN,
+    LINK_PARTITION,
+    LINK_LOSS,
+    LINK_LATENCY,
+)
+
+#: kinds whose target is a machine name ("" targets the fabric)
+_MACHINE_KINDS = (MACHINE_CRASH, PROCESSOR_HANG, PROCESSOR_SLOWDOWN)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``duration_s`` bounds transient faults (the injector reverts them);
+    ``None`` means permanent for the run. ``magnitude`` is the
+    kind-specific knob: loss probability for ``link_loss``, extra
+    microseconds for ``link_latency``, cost multiplier for
+    ``processor_slowdown``; ignored otherwise.
+    """
+
+    at_s: float
+    kind: str
+    target: str = ""
+    duration_s: Optional[float] = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} (choose from "
+                f"{', '.join(FAULT_KINDS)})"
+            )
+        if self.at_s < 0:
+            raise FaultPlanError(f"fault at_s must be >= 0, got {self.at_s}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise FaultPlanError(
+                f"fault duration_s must be positive, got {self.duration_s}"
+            )
+        if self.kind in _MACHINE_KINDS and not self.target:
+            raise FaultPlanError(f"{self.kind} needs a target machine")
+        if self.kind == LINK_LOSS and not (0.0 < self.magnitude <= 1.0):
+            raise FaultPlanError(
+                f"link_loss magnitude is a probability in (0, 1], "
+                f"got {self.magnitude}"
+            )
+        if self.kind == LINK_LATENCY and self.magnitude <= 0:
+            raise FaultPlanError("link_latency magnitude (extra us) must be > 0")
+        if self.kind == PROCESSOR_SLOWDOWN and self.magnitude <= 1.0:
+            raise FaultPlanError(
+                "processor_slowdown magnitude is a cost multiplier > 1"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "at_s": self.at_s,
+            "kind": self.kind,
+            "target": self.target,
+            "duration_s": self.duration_s,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        try:
+            return cls(
+                at_s=float(data["at_s"]),  # type: ignore[arg-type]
+                kind=str(data["kind"]),
+                target=str(data.get("target", "")),
+                duration_s=(
+                    float(data["duration_s"])  # type: ignore[arg-type]
+                    if data.get("duration_s") is not None
+                    else None
+                ),
+                magnitude=float(data.get("magnitude", 0.0)),  # type: ignore[arg-type]
+            )
+        except KeyError as missing:
+            raise FaultPlanError(f"fault event missing field {missing}") from None
+
+
+@dataclass
+class FaultPlan:
+    """A full failure scenario: events in time order plus the seed for
+    every stochastic decision the faults introduce."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda event: event.at_s)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "events": [event.to_dict() for event in self.events],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}")
+        if not isinstance(data, dict) or "events" not in data:
+            raise FaultPlanError('fault plan JSON needs an "events" list')
+        events = [FaultEvent.from_dict(entry) for entry in data["events"]]
+        return cls(events=events, seed=int(data.get("seed", 0)))
+
+
+def random_single_fault_plan(
+    seed: int,
+    horizon_s: float,
+    machines: List[str],
+    kinds: tuple = FAULT_KINDS,
+) -> FaultPlan:
+    """One random transient fault inside ``horizon_s`` — the chaos
+    soak's unit of trouble. Deterministic in ``seed``. Times scale with
+    the horizon: the fault lands in the first half of the run and heals
+    within a quarter of it."""
+    rng = random.Random(seed)
+    kind = rng.choice(list(kinds))
+    at_s = rng.uniform(horizon_s * 0.05, horizon_s * 0.5)
+    duration_s = rng.uniform(horizon_s * 0.05, horizon_s * 0.25)
+    target = rng.choice(machines) if kind in _MACHINE_KINDS else ""
+    magnitude = 0.0
+    if kind == LINK_LOSS:
+        magnitude = rng.uniform(0.05, 0.4)
+    elif kind == LINK_LATENCY:
+        magnitude = rng.uniform(20.0, 200.0)
+    elif kind == PROCESSOR_SLOWDOWN:
+        magnitude = rng.uniform(2.0, 8.0)
+    return FaultPlan(
+        events=[
+            FaultEvent(
+                at_s=at_s,
+                kind=kind,
+                target=target,
+                duration_s=duration_s,
+                magnitude=magnitude,
+            )
+        ],
+        seed=seed,
+    )

@@ -5,6 +5,13 @@ processor. Both of its per-element filters are statically checkable:
 backend legality (does any available platform's code generator accept
 the element?) and constraint consistency (does the app pin an element to
 a side its own meta forbids?).
+
+``ADN403`` extends the family beyond feasibility into durability: an
+element whose state blocks replication (read-modify-write, per
+:mod:`repro.ir.replication`) has exactly one copy of that state at
+runtime — if the machine hosting it crashes and the element never opted
+into checkpointing (``meta { checkpoint: true; }``), recovery has no
+source to restore from and the state is simply gone.
 """
 
 from __future__ import annotations
@@ -118,6 +125,54 @@ def check_colocation_contradictions(context) -> List[Diagnostic]:
                         element=app_name,
                         fix="drop the colocate constraint or change the "
                         "element's position meta",
+                    )
+                )
+    return out
+
+
+@rule("ADN403", "unrecoverable-state", Severity.WARNING)
+def check_unrecoverable_state(context) -> List[Diagnostic]:
+    """A chain places an element whose state cannot be replicated
+    (read-modify-write tables or variables) and that never opted into
+    checkpointing: its single copy of state lives on one machine, and a
+    crash of that machine loses it with no recovery source. Elements
+    with replicable state survive via replicas; elements with ``meta {
+    checkpoint: true; }`` survive via the warm standby — this rule
+    flags the gap between the two."""
+    out: List[Diagnostic] = []
+    reported = set()
+    for app_name in context.own_apps:
+        app = context.program.apps[app_name]
+        for chain in app.chains:
+            for name in chain.elements:
+                if name in reported:
+                    continue
+                analysis = context.analyses.get(name)
+                ir = context.irs.get(name)
+                if analysis is None or ir is None:
+                    continue
+                safety = analysis.replication
+                if safety is None or not safety.blocking:
+                    continue
+                if ir.meta.get("checkpoint"):
+                    continue
+                reported.add(name)
+                element = context.program.elements.get(name)
+                span = element.span if element is not None else chain.span
+                reasons = "; ".join(safety.reasons())
+                out.append(
+                    context.diag(
+                        "ADN403",
+                        Severity.WARNING,
+                        f"element {name!r} holds non-replicable state with "
+                        f"no recovery source: {reasons} — a crash of its "
+                        "host machine loses this state permanently",
+                        span=span,
+                        element=name,
+                        fix="add 'meta { checkpoint: true; }' to stream "
+                        "the state to a warm standby, or restructure the "
+                        "state to be replicable (read-only, commutative, "
+                        "or keyed partitioned)",
                     )
                 )
     return out

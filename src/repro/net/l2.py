@@ -3,16 +3,41 @@
 The only service ADN assumes from the network (paper §3): frames carry a
 destination :class:`~repro.net.addresses.FlatId` and the fabric delivers
 them. This models a cloud VPC / VXLAN overlay — FIFO per source-
-destination pair, no loss, one switch hop between machines.
+destination pair, one switch hop between machines.
+
+By default the fabric is lossless; the fault injector
+(:mod:`repro.faults`) degrades it through :class:`LinkConditions` —
+partition (nothing crosses), probabilistic loss, and latency spikes.
+Loss sampling uses the fabric's own seeded RNG so an identical fault
+plan over identical traffic reproduces identical drop decisions.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..errors import RuntimeFault
 from .addresses import FlatId
+
+
+@dataclass
+class LinkConditions:
+    """Degradations currently applied to the fabric (all faults are
+    transient; the injector reverts them when their window closes)."""
+
+    partitioned: bool = False
+    loss_probability: float = 0.0
+    extra_latency_us: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return (
+            self.partitioned
+            or self.loss_probability > 0.0
+            or self.extra_latency_us > 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -42,6 +67,14 @@ class VirtualL2:
         self._names: Dict[FlatId, str] = {}
         self.frames_delivered = 0
         self.bytes_delivered = 0
+        self.frames_dropped = 0
+        self.conditions = LinkConditions()
+        self._rng = random.Random(0)
+
+    def reseed(self, seed: int) -> None:
+        """Re-seed the loss RNG (the fault injector does this from the
+        plan seed so drop decisions replay exactly)."""
+        self._rng = random.Random(seed)
 
     def attach(
         self, name: str, handler: Callable[[L2Frame], None]
@@ -62,24 +95,41 @@ class VirtualL2:
         flat_id = FlatId.for_name(name)
         return flat_id if flat_id in self._endpoints else None
 
-    def transmit(self, frame: L2Frame) -> None:
+    def transmit(self, frame: L2Frame) -> bool:
+        """Deliver a frame; returns False when the fabric dropped it.
+
+        An unknown destination is still a hard fault (a wiring bug, not
+        a network condition); loss and partition silently eat the frame
+        like a real fabric would.
+        """
         handler = self._endpoints.get(frame.dst)
         if handler is None:
             raise RuntimeFault(
                 f"no endpoint {frame.dst} on the virtual L2 "
                 f"(attached: {sorted(self._names.values())})"
             )
+        if self.conditions.partitioned or (
+            self.conditions.loss_probability > 0.0
+            and self._rng.random() < self.conditions.loss_probability
+        ):
+            self.frames_dropped += 1
+            return False
         self.frames_delivered += 1
         self.bytes_delivered += frame.wire_bytes
         handler(frame)
+        return True
 
-    def send(self, src_name: str, dst_name: str, payload: bytes) -> L2Frame:
-        """Convenience: build and transmit a frame by endpoint names."""
+    def send(
+        self, src_name: str, dst_name: str, payload: bytes
+    ) -> Optional[L2Frame]:
+        """Convenience: build and transmit a frame by endpoint names.
+        Returns the frame, or None when the fabric dropped it."""
         dst = self.resolve(dst_name)
         if dst is None:
             raise RuntimeFault(f"unknown endpoint {dst_name!r}")
         frame = L2Frame(
             src=FlatId.for_name(src_name), dst=dst, payload=payload
         )
-        self.transmit(frame)
+        if not self.transmit(frame):
+            return None
         return frame

@@ -12,8 +12,11 @@ from .message import (
     reset_rpc_ids,
 )
 from .filters import (
+    RetryPolicy,
+    RetryStats,
     apply_filter,
     apply_filters,
+    wrap_retry_policy,
     wrap_circuit_breaker,
     wrap_congestion_control,
     wrap_rate_shaper,
@@ -57,12 +60,15 @@ __all__ = [
     "peer_translate",
     "peering_savings",
     "ProcessorReport",
+    "RetryPolicy",
+    "RetryStats",
     "TelemetryCollector",
     "TelemetryStore",
     "wrap_circuit_breaker",
     "wrap_congestion_control",
     "wrap_rate_shaper",
     "wrap_retry",
+    "wrap_retry_policy",
     "wrap_timeout",
     "is_aborted",
     "make_abort",

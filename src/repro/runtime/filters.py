@@ -20,7 +20,10 @@ order, so ``Retry`` outside ``Timeout`` retries timed-out attempts.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional, Sequence
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
 
 from ..dsl.ast_nodes import FilterDef
 from ..errors import RuntimeFault
@@ -88,6 +91,131 @@ def wrap_retry(
             if backoff_ms > 0:
                 yield sim.timeout(backoff_ms * 1e-3)
 
+    return shaped
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A production-shaped retry budget (repro.faults): per-attempt
+    timeout, capped exponential backoff with deterministic jitter, and
+    an overall deadline budget per *logical* call.
+
+    The per-attempt timeout is what makes fault injection survivable: an
+    RPC blackholed by a crashed machine or a dropped frame never
+    completes on its own — the timeout converts that silence into a
+    retryable ``Timeout`` abort.
+    """
+
+    max_attempts: int = 4
+    per_attempt_timeout_ms: float = 30.0
+    base_backoff_ms: float = 1.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 50.0
+    #: fraction of the backoff randomized (0 = none, 1 = ±50%); drawn
+    #: from a policy-seeded RNG so runs replay exactly
+    jitter: float = 0.5
+    #: overall wall-clock budget for one logical call, all attempts and
+    #: backoffs included; None = unbounded
+    deadline_budget_ms: Optional[float] = None
+    retry_on: Tuple[str, ...] = DEFAULT_RETRYABLE
+    seed: int = 0
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff after ``attempt`` (1-based) failed attempts."""
+        raw = self.base_backoff_ms * (
+            self.backoff_multiplier ** (attempt - 1)
+        )
+        capped = min(raw, self.max_backoff_ms)
+        jittered = capped * (1.0 + self.jitter * (rng.random() - 0.5))
+        return max(0.0, jittered) * 1e-3
+
+
+@dataclass
+class RetryStats:
+    """Observability for one wrapped call path."""
+
+    logical_calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    deadline_exceeded: int = 0
+    backoff_s_total: float = 0.0
+
+
+def wrap_retry_policy(
+    sim: Simulator,
+    call: CallFn,
+    policy: RetryPolicy,
+    stats: Optional[RetryStats] = None,
+    stable_rpc_id: bool = True,
+) -> CallFn:
+    """Wrap ``call`` with a :class:`RetryPolicy`.
+
+    With ``stable_rpc_id`` (for callables that accept an ``rpc_id``
+    field, like ``AdnMrpcStack.call_raw``) every attempt of one logical
+    call reuses the same id, which is how the server side can count
+    duplicate executions.
+    """
+    retryable = frozenset(policy.retry_on)
+    rng = random.Random(policy.seed)
+    ids = itertools.count(1_000_001)  # clear of make_request's sequence
+    if stats is None:
+        stats = RetryStats()
+
+    def shaped(**fields) -> Generator:
+        issued_at = sim.now
+        stats.logical_calls += 1
+        if stable_rpc_id:
+            fields.setdefault("rpc_id", next(ids))
+        deadline = (
+            issued_at + policy.deadline_budget_ms * 1e-3
+            if policy.deadline_budget_ms is not None
+            else None
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            stats.attempts += 1
+            attempt_timeout = policy.per_attempt_timeout_ms * 1e-3
+            if deadline is not None:
+                attempt_timeout = min(attempt_timeout, deadline - sim.now)
+            in_flight = sim.process(call(**fields))
+            timer = sim.timeout(max(0.0, attempt_timeout), value=_TIMED_OUT)
+            winner = yield sim.any_of([in_flight, timer])
+            if isinstance(winner, _TimeoutSentinel):
+                # the attempt is still parked somewhere (blackholed, or
+                # just slow); the caller moves on — work is not refunded
+                stats.timeouts += 1
+                outcome = RpcOutcome(
+                    request=dict(fields),
+                    response={"status": "aborted:Timeout", "kind": "response"},
+                    issued_at=issued_at,
+                    completed_at=sim.now,
+                    aborted_by="Timeout",
+                )
+            else:
+                outcome = winner
+            outcome.notes["attempts"] = attempt
+            if outcome.ok or attempt >= policy.max_attempts:
+                return outcome
+            if outcome.aborted_by not in retryable:
+                return outcome
+            backoff = policy.backoff_s(attempt, rng)
+            if deadline is not None and sim.now + backoff >= deadline:
+                stats.deadline_exceeded += 1
+                outcome.aborted_by = "DeadlineExceeded"
+                outcome.response = {
+                    "status": "aborted:DeadlineExceeded",
+                    "kind": "response",
+                }
+                return outcome
+            stats.retries += 1
+            if backoff > 0:
+                stats.backoff_s_total += backoff
+                yield sim.timeout(backoff)
+
+    shaped.policy = policy  # type: ignore[attr-defined]
+    shaped.stats = stats  # type: ignore[attr-defined]
     return shaped
 
 

@@ -89,6 +89,7 @@ class AdnMrpcStack:
         guarantees=None,
         server_handler=None,
         tracing: bool = False,
+        retry_policy=None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -97,6 +98,7 @@ class AdnMrpcStack:
         self.registry = registry
         self.plan = plan or default_plan(chain)
         self.costs = cluster.costs
+        self.handcoded = handcoded
         self.client_service = client_service
         self.server_service = server_service
         self.server_replicas = server_replicas
@@ -150,17 +152,35 @@ class AdnMrpcStack:
         self._codec = self._build_codec()
         self.wire_bytes_total = 0
         self.mirrored_total = 0
+        #: fault observability (repro.faults): attempts that vanished
+        #: into a crashed machine / dropped frame, by where they died,
+        #: and server-side logic runs beyond the first per logical RPC
+        self.rpcs_lost = 0
+        self.lost_by: Dict[str, int] = {}
+        self.duplicate_server_executions = 0
+        self._server_executions: Dict[object, int] = {}
         self._attach_l2()
         # stream-shaping filters (retries, timeouts, ...) wrap the path;
-        # ``call`` is what workload generators should drive
+        # ``call`` is what workload generators should drive. The retry
+        # policy sits innermost (closest to the raw path) so declared
+        # filters shape already-reliable calls.
+        base = self.call_raw
+        self.retry_stats = None
+        if retry_policy is not None:
+            from .filters import RetryStats, wrap_retry_policy
+
+            self.retry_stats = RetryStats()
+            base = wrap_retry_policy(
+                self.sim, base, retry_policy, stats=self.retry_stats
+            )
         if filters:
             from .filters import apply_filters
 
             self.call = apply_filters(
-                self.sim, self.call_raw, list(filters), order=filter_order
+                self.sim, base, list(filters), order=filter_order
             )
         else:
-            self.call = self.call_raw
+            self.call = base
 
     # -- setup -----------------------------------------------------------
 
@@ -218,13 +238,21 @@ class AdnMrpcStack:
                     ),
                 )
 
-    def _l2_transmit(self, from_side: str, payload: bytes) -> bytes:
+    def _l2_transmit(
+        self, from_side: str, payload: bytes
+    ) -> Optional[bytes]:
         """Push one encoded message over the virtual L2 to the other
-        side; returns the bytes as delivered there."""
+        side; returns the bytes as delivered there, or None when the
+        frame died en route (partition, loss, or a crashed far host)."""
         to_side = "server" if from_side == "client" else "client"
-        self.cluster.l2.send(
+        to_machine = f"{to_side}-host"
+        if not self.cluster.machine_up(to_machine):
+            return None  # blackholed: nothing is listening
+        frame = self.cluster.l2.send(
             self._l2_names[from_side], self._l2_names[to_side], payload
         )
+        if frame is None:
+            return None
         return self._l2_inbox[to_side].pop()
 
     def _codec_for(self, message: Row) -> AdnWireCodec:
@@ -249,7 +277,7 @@ class AdnMrpcStack:
         extra = self.costs.mrpc_tcp_unbatched_extra_us
         return cpu, extra, wire
 
-    def _cross_wire(self, message: Row) -> Row:
+    def _cross_wire(self, message: Row) -> Optional[Row]:
         """What the far side of the hop actually receives: the tuple
         encoded with the hop's minimal header layout and decoded again.
         Fields the compiler proved unnecessary downstream really do not
@@ -267,6 +295,8 @@ class AdnMrpcStack:
             "client" if outbound.get("kind") != "response" else "server"
         )
         delivered = self._l2_transmit(from_side, codec.encode(outbound))
+        if delivered is None:
+            return None
         received = codec.decode(delivered)
         if "seq" in received and received.get("kind") != "response":
             if received["seq"] <= self._last_seq_seen:
@@ -282,7 +312,25 @@ class AdnMrpcStack:
 
     def _wire_hop(self, size_bytes: int, hops: int = 1) -> Generator:
         self.wire_bytes_total += size_bytes
-        yield self.sim.timeout(self.costs.wire_us(size_bytes, hops) * US)
+        # a latency-spike fault stretches every hop while it is active
+        extra_us = self.cluster.l2.conditions.extra_latency_us
+        yield self.sim.timeout(
+            (self.costs.wire_us(size_bytes, hops) + extra_us) * US
+        )
+
+    def _lost(self, where: str) -> Generator:
+        """This attempt just vanished (crashed host or dropped frame):
+        park its process forever, like a real blackholed packet. Only a
+        caller-side per-attempt timeout (:class:`RetryPolicy`) turns the
+        silence into a visible, retryable abort — which is exactly the
+        "no silent loss requires retries" property the fault tests pin.
+
+        Never call this while holding a Resource — lost attempts must
+        not wedge a thread pool.
+        """
+        self.rpcs_lost += 1
+        self.lost_by[where] = self.lost_by.get(where, 0) + 1
+        yield self.sim.event()  # never fires
 
     # -- the path -----------------------------------------------------------------
 
@@ -314,7 +362,7 @@ class AdnMrpcStack:
         dropping_processor: Optional[ProcessorRuntime] = None
         dropped_after_entry = False
         for processor in self.processors:
-            if processor.segment.machine in ("server-host", SWITCH_LOCATION) and (
+            if processor.segment.machine != "client-host" and (
                 not crossed_wire
             ):
                 # leave the client host
@@ -325,9 +373,13 @@ class AdnMrpcStack:
                 hop_started = self.sim.now
                 yield from self._wire_hop(wire, hops=1)
                 current = self._cross_wire(current)
+                if current is None:
+                    yield from self._lost("wire:forward")
                 crossed_wire = True
                 if self.tracing:
                     trace.append(("wire:forward", hop_started, self.sim.now))
+            if not processor.live:
+                yield from self._lost(f"crash:{processor.segment.machine}")
             span_started = self.sim.now
             result = yield self.sim.process(
                 processor.execute("request", current)
@@ -358,9 +410,13 @@ class AdnMrpcStack:
                 hop_started = self.sim.now
                 yield from self._wire_hop(wire, hops=1)
                 current = self._cross_wire(current)
+                if current is None:
+                    yield from self._lost("wire:forward")
                 crossed_wire = True
                 if self.tracing:
                     trace.append(("wire:forward", hop_started, self.sim.now))
+            if not self.cluster.machine_up("server-host"):
+                yield from self._lost("crash:server-host")
             # server engine receives and hands to the app
             yield self.sim.timeout(self.costs.mrpc_rx_wakeup_extra_us * US)
             cpu, extra, _wire = self._transport_cost("server", current)
@@ -371,6 +427,13 @@ class AdnMrpcStack:
             # decode exactly what the wire carried (fidelity check lives
             # in tests: the server sees only header-plan fields)
             yield from self._use(self.server_app, self.costs.app_logic_us)
+            # at-least-once bookkeeping: with a retry policy, attempts of
+            # one logical RPC share an rpc_id — a retry after the server
+            # already ran (response lost on the way back) shows up here
+            executions = self._server_executions.get(request["rpc_id"], 0) + 1
+            self._server_executions[request["rpc_id"]] = executions
+            if executions > 1:
+                self.duplicate_server_executions += 1
             if self.server_handler is not None:
                 overrides = yield from self.server_handler(current)
                 response = make_response(current, **(overrides or {}))
@@ -406,9 +469,13 @@ class AdnMrpcStack:
                 hop_started = self.sim.now
                 yield from self._wire_hop(wire, hops=1)
                 response = self._cross_wire(response)
+                if response is None:
+                    yield from self._lost("wire:return")
                 returned_wire = False
                 if self.tracing:
                     trace.append(("wire:return", hop_started, self.sim.now))
+            if not processor.live:
+                yield from self._lost(f"crash:{processor.segment.machine}")
             span_started = self.sim.now
             result = yield self.sim.process(
                 processor.execute("response", response)
@@ -432,6 +499,8 @@ class AdnMrpcStack:
             hop_started = self.sim.now
             yield from self._wire_hop(wire, hops=1)
             response = self._cross_wire(response)
+            if response is None:
+                yield from self._lost("wire:return")
             if self.tracing:
                 trace.append(("wire:return", hop_started, self.sim.now))
         if crossed_wire:
@@ -469,6 +538,51 @@ class AdnMrpcStack:
         if not indices:
             return False
         return min(indices) < drop_index
+
+    # -- reconfiguration (repro.faults) ---------------------------------------
+
+    def apply_plan(self, new_plan: PlacementPlan) -> List[ProcessorRuntime]:
+        """Swap in a re-solved placement (the recovery orchestrator's
+        failover step). Returns the replaced processors so the caller
+        can deregister them and, for survivors, migrate state out.
+
+        In-flight attempts keep walking the *old* processors; ones
+        routed at a crashed machine die at their next liveness
+        checkpoint and come back through the new plan via retries —
+        exactly how a real data plane drains a superseded config.
+        """
+        old = self.processors
+        self.plan = new_plan
+        self.processors = [
+            ProcessorRuntime(
+                self.sim,
+                self.cluster,
+                segment,
+                self.chain,
+                self.registry,
+                self.handcoded,
+            )
+            for segment in new_plan.segments
+        ]
+        for side, machine_name, mode in (
+            ("client", "client-host", new_plan.client_transport),
+            ("server", "server-host", new_plan.server_transport),
+        ):
+            machine = self.cluster.machine(machine_name)
+            if mode == "engine":
+                self._transport[side] = machine.thread("mrpc-engine")
+            else:
+                self._transport[side] = (
+                    self.client_app if side == "client" else self.server_app
+                )
+        self._traversal_order = [
+            name
+            for segment in new_plan.segments
+            for name in segment.elements
+        ]
+        self._seed_load_balancers()
+        self._codec = self._build_codec()
+        return old
 
     # -- accounting -----------------------------------------------------------
 

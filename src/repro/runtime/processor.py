@@ -20,7 +20,7 @@ from ..errors import PlacementError
 from ..platforms import Platform
 from ..sim.cluster import Cluster, Machine
 from ..sim.costmodel import CostModel
-from ..sim.engine import US, Simulator
+from ..sim.engine import US, Event, Simulator
 from ..sim.resources import Resource
 from .message import Row
 
@@ -112,6 +112,11 @@ class ProcessorRuntime:
             )
         self.rpcs_processed = 0
         self.rpcs_dropped = 0
+        #: fault hooks (repro.faults): a pending hang gate, and a cost
+        #: multiplier for a degraded (thermal-throttled, noisy-neighbour)
+        #: processor
+        self.hang_event: Optional[Event] = None
+        self.slowdown_factor: float = 1.0
         #: per-element counters for telemetry reports (paper §5.3)
         self.element_processed: Dict[str, int] = {
             name: 0 for name in segment.elements
@@ -149,6 +154,25 @@ class ProcessorRuntime:
     def _on_func_call(self, spec, size: int) -> None:
         self._pending_func_us += spec.cost_us + size * spec.cost_per_byte_us
 
+    # -- liveness (repro.faults) --------------------------------------------
+
+    @property
+    def live(self) -> bool:
+        """False while the hosting machine is crashed: RPCs routed here
+        blackhole instead of executing."""
+        return self.cluster.machine_up(self.segment.machine)
+
+    def reset_instances(self) -> None:
+        """Re-create every element instance with empty runtime state —
+        what a machine restart means for the processors it hosted (init
+        blocks re-run; everything accumulated since is gone)."""
+        for name in self.segment.elements:
+            compiled = self.chain.elements[name]
+            artifact = compiled.artifact("python")
+            self.instances[name] = artifact.factory(
+                on_func_call=self._on_func_call
+            )
+
     # -- execution -------------------------------------------------------------
 
     def _element_cost_us(self, name: str, kind: str, func_us: float) -> float:
@@ -162,7 +186,7 @@ class ProcessorRuntime:
             factor *= self.costs.handcoded_element_factor
         if self.segment.platform is Platform.SIDECAR:
             base += self.costs.wasm_trampoline_us
-        return base * factor
+        return base * factor * self.slowdown_factor
 
     def _run_functionally(self, kind: str, rpc: Row) -> SegmentResult:
         """Execute the segment's elements on one tuple; returns outputs
@@ -242,6 +266,10 @@ class ProcessorRuntime:
     def execute(self, kind: str, rpc: Row) -> Generator:
         """Simulation process: queue on the platform resource, execute,
         hold for the computed service time. Returns a SegmentResult."""
+        while self.hang_event is not None:
+            # hung: park until the injector resumes us (the loop re-checks
+            # in case a second hang lands the instant the first lifts)
+            yield self.hang_event
         self.rpcs_processed += 1
         if self.resource is None:
             # switch pipeline: line rate, latency only

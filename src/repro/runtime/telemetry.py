@@ -59,12 +59,19 @@ class TelemetryCollector:
         self.interval_s = interval_s
         self._processors: List[ProcessorRuntime] = []
         self._sinks: List[ReportSink] = []
-        self._last: Dict[int, Dict[str, float]] = {}
+        # keyed by the processor object, not id(): a deregistered
+        # processor's id can be reused by a brand-new one (CPython
+        # recycles addresses), which would silently inherit the dead
+        # processor's counters as its baseline
+        self._last: Dict[ProcessorRuntime, Dict[str, float]] = {}
         self.reports: List[ProcessorReport] = []
+        self.skipped_down = 0
 
     def register(self, processor: ProcessorRuntime) -> None:
+        if processor in self._last:
+            return  # idempotent: re-registering must not reset baselines
         self._processors.append(processor)
-        self._last[id(processor)] = {
+        self._last[processor] = {
             "processed": 0.0,
             "dropped": 0.0,
             "busy": 0.0,
@@ -76,14 +83,35 @@ class TelemetryCollector:
         for processor in stack.processors:
             self.register(processor)
 
+    def deregister(self, processor: ProcessorRuntime) -> None:
+        """Forget a processor (torn down by migration or recovery).
+        Unknown processors are ignored — callers may race a crash."""
+        if processor in self._last:
+            del self._last[processor]
+            self._processors.remove(processor)
+
+    def deregister_stack(self, stack) -> None:
+        for processor in list(stack.processors):
+            self.deregister(processor)
+
     def add_sink(self, sink: ReportSink) -> None:
         self._sinks.append(sink)
 
     def sample(self) -> List[ProcessorReport]:
         """Take one sample of every processor right now."""
         samples: List[ProcessorReport] = []
-        for processor in self._processors:
-            last = self._last[id(processor)]
+        # iterate a snapshot: a sink may deregister processors (the
+        # recovery orchestrator does, reacting to a suspect report)
+        for processor in list(self._processors):
+            last = self._last.get(processor)
+            if last is None:
+                continue  # deregistered by an earlier sink this window
+            if not getattr(processor, "live", True):
+                # a crashed host sends no heartbeats; skipping (rather
+                # than emitting a zero-rate report) is what lets the
+                # failure detector see silence
+                self.skipped_down += 1
+                continue
             window = self.sim.now - last["at"]
             busy = (
                 processor.resource.busy_time

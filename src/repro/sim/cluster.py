@@ -31,12 +31,30 @@ class Machine:
     supports_ebpf: bool = True
     threads: Dict[str, Resource] = field(default_factory=dict)
     smartnic_cores: Optional[Resource] = None
+    #: liveness flag flipped by the fault injector; a down machine
+    #: blackholes traffic and stops heartbeating until restart
+    up: bool = True
+    crashed_at: Optional[float] = None
+    restarted_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.has_smartnic:
             self.smartnic_cores = Resource(
                 self.sim, capacity=4, name=f"{self.name}/smartnic"
             )
+
+    def crash(self) -> None:
+        """Power-fail the host: everything in memory (element state,
+        in-flight work) is gone; traffic toward it blackholes."""
+        self.up = False
+        self.crashed_at = self.sim.now
+
+    def restart(self) -> None:
+        """Bring the host back with empty memory. Processor instances
+        must be re-created by whoever owns them (the fault injector
+        does this for registered stacks)."""
+        self.up = True
+        self.restarted_at = self.sim.now
 
     def thread(self, name: str, capacity: int = 1) -> Resource:
         """Get or create a named thread pool on this machine."""
@@ -122,6 +140,12 @@ class Cluster:
 
     def cpu_busy_by_machine(self) -> Dict[str, float]:
         return {name: m.cpu_busy_s() for name, m in self.machines.items()}
+
+    def machine_up(self, name: str) -> bool:
+        """Liveness of a placement location. Locations without a host
+        machine (the switch pipeline) never crash in this model."""
+        machine = self.machines.get(name)
+        return machine is None or machine.up
 
 
 def two_machine_cluster(

@@ -7,3 +7,7 @@ __all__ = ["Delta", "Row", "StateStore", "StateTable"]
 from .migration import MigrationReport, MigrationTiming, Migrator
 
 __all__ += ["MigrationReport", "MigrationTiming", "Migrator"]
+
+from .checkpoint import Checkpointer, CheckpointTiming, RestoreReport
+
+__all__ += ["Checkpointer", "CheckpointTiming", "RestoreReport"]

@@ -133,3 +133,110 @@ def test_chaos_trial(seed):
     # 5. latencies are sane
     assert metrics.latency.percentile(0) > 0
     assert metrics.latency.percentile(100) < 1.0, context
+
+
+# -- fault soak: the same invariants must survive injected trouble -----------
+
+#: machine-crash soak targets; faults are transient so no recovery
+#: orchestrator is needed, just retries riding out the blackout
+SOAK_MACHINES = ["client-host", "server-host"]
+
+
+def run_fault_trial(seed: int):
+    """A chaos trial plus one random transient fault and a retry policy
+    generous enough to outlive it. Seeded: failures reproduce."""
+    from repro.faults import FaultInjector, random_single_fault_plan
+    from repro.runtime import RetryPolicy
+
+    rng = random.Random(10_000 + seed)
+    names = rng.sample(POOL, k=rng.randint(1, 4))
+    strategy = rng.choice(STRATEGIES)
+    concurrency = rng.choice([1, 4, 16])
+    total = 300
+    horizon_s = 0.01
+
+    reset_rpc_ids()
+    registry = FunctionRegistry(rng=random.Random(seed))
+    program = load_stdlib(schema=SCHEMA)
+    compiler = AdnCompiler(registry=registry)
+    chain = compiler.compile_chain(
+        ChainDecl(src="A", dst="B", elements=tuple(names)), program, SCHEMA
+    )
+    plan = solve_placement(
+        PlacementRequest(
+            chain=chain, schema=SCHEMA, strategy=strategy,
+            cluster=ClusterSpec(),
+        )
+    )
+    sim = Simulator()
+    cluster = two_machine_cluster(sim)
+    # the blackout tops out at horizon/4; 20 x 5ms attempts dwarf it.
+    # only timeouts retry: element-level aborts (Acl, Fault) must keep
+    # flowing through so the drop accounting stays meaningful
+    policy = RetryPolicy(
+        max_attempts=20,
+        per_attempt_timeout_ms=5.0,
+        base_backoff_ms=0.5,
+        max_backoff_ms=5.0,
+        retry_on=("Timeout",),
+        seed=seed,
+    )
+    stack = AdnMrpcStack(
+        sim, cluster, chain, SCHEMA, registry, plan=plan,
+        server_replicas=2, retry_policy=policy,
+    )
+    fault_plan = random_single_fault_plan(seed, horizon_s, SOAK_MACHINES)
+    injector = FaultInjector(sim, cluster)
+    injector.register_stack(stack)
+    sim.process(injector.run(fault_plan))
+    client = ClosedLoopClient(
+        sim, stack.call, concurrency=concurrency, total_rpcs=total, seed=seed
+    )
+    metrics = client.run()
+    return names, fault_plan, stack, cluster, metrics, total, sim
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_fault_soak_trial(seed):
+    names, fault_plan, stack, cluster, metrics, total, sim = run_fault_trial(
+        seed
+    )
+    (event,) = fault_plan.events
+    context = f"seed={seed} chain={names} fault={event.kind}@{event.at_s:.4f}"
+    # 1. no silent loss: with retries enabled every issued RPC is
+    #    answered, even the ones the fault blackholed mid-flight
+    assert metrics.completed == total, context
+    # 2. whatever the fault ate was converted into timeouts, never
+    #    silence: lost attempts <= timed-out attempts
+    assert stack.rpcs_lost <= stack.retry_stats.timeouts, context
+    # 3. CPU accounting stays conservative under faults (slowdowns
+    #    included): busy time never exceeds capacity x elapsed
+    for machine in cluster.machines.values():
+        for resource in machine.threads.values():
+            assert (
+                resource.busy_time <= sim.now * resource.capacity + 1e-9
+            ), (context, resource.name)
+    # 4. transient faults fully healed: machines back up, no processor
+    #    left hung or slowed
+    for name in SOAK_MACHINES:
+        assert cluster.machine_up(name), context
+    for processor in stack.processors:
+        assert processor.hang_event is None, context
+        assert processor.slowdown_factor == 1.0, context
+
+
+def test_fault_soak_reproducible():
+    """Same seed, same trouble: the soak replays bit-identically."""
+    def signature(seed):
+        _, fault_plan, stack, _, metrics, _, sim = run_fault_trial(seed)
+        return (
+            tuple(event.to_dict().items() for event in fault_plan.events),
+            metrics.completed,
+            metrics.aborted,
+            metrics.elapsed_s,
+            stack.rpcs_lost,
+            stack.retry_stats.timeouts,
+            stack.retry_stats.retries,
+        )
+
+    assert signature(3) == signature(3)

@@ -185,3 +185,34 @@ class TestBench:
         ) == 0
         out = capsys.readouterr().out
         assert "system      : envoy" in out
+
+
+class TestFaults:
+    def test_default_crash_demo(self, capsys):
+        assert main(["faults", "--rpcs", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "machine_crash stats-host" in out
+        assert "800/800 completed" in out
+        assert "recovered in" in out
+        assert "detection latency" in out
+
+    def test_plan_file_round_trip(self, tmp_path, capsys):
+        from repro.faults import default_crash_plan
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            default_crash_plan(seed=3, crash_at_s=0.008).to_json()
+        )
+        assert main(
+            ["faults", "--plan", str(plan_path), "--seed", "3",
+             "--rpcs", "800"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "t=    8.00 ms  machine_crash stats-host" in out
+        assert "800/800 completed" in out
+
+    def test_malformed_plan_rejected(self, tmp_path, capsys):
+        plan_path = tmp_path / "bad.json"
+        plan_path.write_text('{"seed": 1}')
+        assert main(["faults", "--plan", str(plan_path)]) == 1
+        assert "events" in capsys.readouterr().err

@@ -40,6 +40,7 @@ class TestRuleCatalog:
         assert {
             "ADN201", "ADN202", "ADN203", "ADN204", "ADN205",
             "ADN301", "ADN302", "ADN303", "ADN310", "ADN401", "ADN402",
+            "ADN403",
         } <= codes
 
 
@@ -192,6 +193,65 @@ class TestPlacementRules:
         (diagnostic,) = find(result, "ADN402")
         assert diagnostic.severity is Severity.ERROR
         assert diagnostic.line == 9
+
+    # the contains() read is what makes this read-modify-write: a
+    # pure "hits + 1" counter would classify as commutative
+    RMW_COUNTER = (
+        "element Tally {{\n"
+        "{meta}"
+        "    state t (k: str KEY, hits: int);\n"
+        "    on request {{\n"
+        "        INSERT INTO t SELECT input.username, 0 FROM input\n"
+        "            WHERE NOT contains(t, input.username);\n"
+        "        UPDATE t SET hits = hits + 1 WHERE k == input.username;\n"
+        "        SELECT * FROM input;\n"
+        "    }}\n"
+        "}}\n"
+        "app A {{\n"
+        "    service x;\n"
+        "    service y;\n"
+        "    chain x -> y {{ Tally }}\n"
+        "}}\n"
+    )
+
+    def test_unrecoverable_state_adn403(self):
+        result = lint_source(self.RMW_COUNTER.format(meta=""))
+        (diagnostic,) = find(result, "ADN403")
+        assert diagnostic.severity is Severity.WARNING
+        assert "read-modify-write" in diagnostic.message
+        assert "checkpoint" in diagnostic.fix
+
+    def test_checkpoint_meta_silences_adn403(self):
+        result = lint_source(
+            self.RMW_COUNTER.format(
+                meta="    meta { checkpoint: true; }\n"
+            )
+        )
+        assert not find(result, "ADN403")
+
+    def test_replicable_state_no_adn403(self):
+        # append-only logging commutes across replicas: no warning
+        result = lint_source(
+            "element Log {\n"
+            "    state log_t (entry: str) APPEND ONLY;\n"
+            "    on request {\n"
+            "        INSERT INTO log_t SELECT input.username FROM input;\n"
+            "        SELECT * FROM input;\n"
+            "    }\n"
+            "}\n"
+            "app A {\n"
+            "    service x;\n"
+            "    service y;\n"
+            "    chain x -> y { Log }\n"
+            "}\n"
+        )
+        assert not find(result, "ADN403")
+
+    def test_unplaced_element_no_adn403(self):
+        # the warning is about placement: an element no chain uses is
+        # not reported
+        result = lint_source(self.RMW_COUNTER.format(meta="").split("app ")[0])
+        assert not find(result, "ADN403")
 
 
 class TestDemoFile:
