@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench faults examples check-all lint typecheck loc
+.PHONY: install test bench faults overload examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -40,6 +40,14 @@ faults:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos.py -q -k fault_soak
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py -q -k RecoveryScenario
 	PYTHONPATH=src $(PYTHON) -m repro faults --rpcs 2000
+
+overload:
+	@# overload-control smoke: the unit suite, the goodput-sweep smoke
+	@# benchmark (baseline collapse vs protected degradation), and the
+	@# overload CLI demo
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_overload.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_overload.py -q -k smoke
+	PYTHONPATH=src $(PYTHON) -m repro overload --duration 0.05
 
 examples:
 	$(PYTHON) examples/quickstart.py

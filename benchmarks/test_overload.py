@@ -1,0 +1,167 @@
+"""Goodput under overload — the graceful-degradation experiment.
+
+Drive the ADN+mRPC path at 0.5x..3x nominal capacity, twice:
+
+* **baseline** — unbounded queue, unbudgeted retries, no deadlines.
+  Past saturation the retry storm takes over (every attempt times out,
+  each logical call re-offers its work ~4x) and goodput collapses;
+* **protected** — bounded queue, CoDel+utilization admission control,
+  token-bucket retry budget, circuit breaker, deadline propagation.
+  Goodput flattens at capacity and admitted RPCs keep bounded latency.
+
+Acceptance shape: at 3x offered load the protected stack keeps >=70% of
+its own peak goodput while the baseline keeps <30% of its peak; p50 of
+*admitted* RPCs stays bounded. Everything is seeded — the same config
+reproduces the same curve, point for point.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.overload import CIRCUIT_OPEN, QUEUE_FULL, SHED
+from repro.overload.sweep import (
+    SweepConfig,
+    format_sweep,
+    run_overload_point,
+    run_overload_sweep,
+)
+
+from bench_harness import bench_assert, print_table
+
+CONFIG = SweepConfig(multipliers=(0.5, 1.0, 1.5, 2.0, 3.0), duration_s=0.2)
+
+#: reduced shape for ``make overload`` / ``-k smoke`` — endpoints only
+SMOKE_CONFIG = dataclasses.replace(
+    CONFIG, multipliers=(0.5, 3.0), duration_s=0.1
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        "baseline": run_overload_sweep(protected=False, config=CONFIG),
+        "protected": run_overload_sweep(protected=True, config=CONFIG),
+    }
+
+
+def _by_multiplier(points):
+    return {point.multiplier: point for point in points}
+
+
+def test_goodput_table(sweep, benchmark):
+    def report():
+        def cell(row, col):
+            multiplier = float(col.split("x")[0])
+            return _by_multiplier(sweep[row])[multiplier].goodput_rps
+
+        print(format_sweep(sweep["baseline"]))
+        print(format_sweep(sweep["protected"]))
+        return print_table(
+            "goodput (rps) vs offered load",
+            rows=["baseline", "protected"],
+            columns=[f"{m}x" for m in CONFIG.multipliers],
+            cell=cell,
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_baseline_collapses_past_saturation(sweep, benchmark):
+    def check():
+        points = sweep["baseline"]
+        peak = max(p.goodput_rps for p in points)
+        at_3x = _by_multiplier(points)[3.0]
+        ratio = at_3x.goodput_rps / peak
+        assert ratio < 0.30, (
+            f"baseline kept {ratio:.1%} of its {peak:.0f} rps peak at 3x "
+            "— expected metastable collapse"
+        )
+        # the collapse mechanism is the retry storm: every abort is a
+        # timeout and each logical call burned ~max_attempts attempts
+        assert at_3x.aborted_by.get("Timeout", 0) == at_3x.aborted
+        assert at_3x.amplification > 0.8 * CONFIG.max_attempts
+        return ratio
+
+    bench_assert(benchmark, check)
+
+
+def test_protected_goodput_holds_at_3x(sweep, benchmark):
+    def check():
+        points = sweep["protected"]
+        peak = max(p.goodput_rps for p in points)
+        at_3x = _by_multiplier(points)[3.0]
+        ratio = at_3x.goodput_rps / peak
+        assert ratio >= 0.70, (
+            f"protected stack kept only {ratio:.1%} of its "
+            f"{peak:.0f} rps peak at 3x"
+        )
+        return ratio
+
+    bench_assert(benchmark, check)
+
+
+def test_admitted_latency_stays_bounded(sweep, benchmark):
+    def check():
+        worst = max(p.p50_ok_ms for p in sweep["protected"])
+        # admitted RPCs never see more than a few target-delays of queue
+        assert worst < 5 * CONFIG.target_delay_ms, (
+            f"protected p50 of admitted RPCs reached {worst:.2f} ms"
+        )
+        return worst
+
+    bench_assert(benchmark, check)
+
+
+def test_protection_suppresses_amplification(sweep, benchmark):
+    def check():
+        base = _by_multiplier(sweep["baseline"])[3.0].amplification
+        prot = _by_multiplier(sweep["protected"])[3.0].amplification
+        # budget + fast rejects: barely any retries spent under overload
+        assert prot < 1.5, f"protected amplification {prot:.2f}x"
+        assert base > 2 * prot
+        return base / prot
+
+    bench_assert(benchmark, check)
+
+
+def test_protected_aborts_are_explicit(sweep, benchmark):
+    def check():
+        at_3x = _by_multiplier(sweep["protected"])[3.0]
+        explicit = sum(
+            at_3x.aborted_by.get(reason, 0)
+            for reason in (SHED, QUEUE_FULL, CIRCUIT_OPEN)
+        )
+        # overload surfaces as cheap, named rejects — not timeouts
+        assert explicit >= 0.9 * at_3x.aborted, at_3x.aborted_by
+        assert at_3x.sheds + at_3x.queue_rejects > 0
+        return explicit
+
+    bench_assert(benchmark, check)
+
+
+def test_sweep_is_deterministic(sweep, benchmark):
+    def check():
+        again = run_overload_point(3.0, protected=True, config=CONFIG)
+        assert again == _by_multiplier(sweep["protected"])[3.0]
+        return again.goodput_rps
+
+    bench_assert(benchmark, check)
+
+
+def test_overload_smoke(benchmark):
+    """Endpoints-only variant for ``make overload`` (select with
+    ``-k smoke``): protection keeps goodput up at 3x, baseline doesn't."""
+
+    def check():
+        baseline = run_overload_sweep(protected=False, config=SMOKE_CONFIG)
+        protected = run_overload_sweep(protected=True, config=SMOKE_CONFIG)
+        print(format_sweep(baseline))
+        print(format_sweep(protected))
+        base_peak = max(p.goodput_rps for p in baseline)
+        prot_peak = max(p.goodput_rps for p in protected)
+        assert baseline[-1].goodput_rps < 0.30 * base_peak
+        assert protected[-1].goodput_rps >= 0.70 * prot_peak
+        return protected[-1].goodput_rps
+
+    bench_assert(benchmark, check)

@@ -8,7 +8,10 @@ Commands:
 * ``plan``    — solve placement for an app's chain and show the layout;
 * ``bench``   — quick simulated run of a chain on a chosen stack;
 * ``faults``  — fault-injection demo: crash a machine mid-workload and
-  print the fault timeline plus the recovery report.
+  print the fault timeline plus the recovery report;
+* ``overload`` — goodput sweep past saturation: the unprotected
+  baseline's metastable collapse vs the protected stack's graceful
+  degradation (repro.overload).
 
 The RPC schema is given as repeated ``--field name:type`` options
 (types: str, int, float, bool, bytes). A reasonable default schema
@@ -458,6 +461,8 @@ def cmd_faults(args) -> int:
           f"{stats.retries} retries, {stats.timeouts} timeouts, "
           f"{result.stack.duplicate_server_executions} duplicate "
           f"server executions")
+    print(f"amplification: {stats.amplification():.2f}x "
+          f"({stats.attempts} attempts / {stats.logical_calls} calls)")
     print(f"tail writes : {result.checkpointer.tail_writes_lost} "
           f"delta(s) lost with the crashed memory")
     print()
@@ -466,6 +471,40 @@ def cmd_faults(args) -> int:
         print("no recovery was triggered")
         return 1
     print(report.summary())
+    return 0
+
+
+def cmd_overload(args) -> int:
+    from .overload.sweep import (
+        SweepConfig,
+        format_sweep,
+        run_overload_sweep,
+    )
+
+    multipliers = tuple(
+        float(part) for part in args.multipliers.split(",") if part.strip()
+    )
+    config = SweepConfig(
+        multipliers=multipliers,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    baseline = run_overload_sweep(protected=False, config=config)
+    protected = run_overload_sweep(protected=True, config=config)
+    print(format_sweep(baseline))
+    print()
+    print(format_sweep(protected))
+    print()
+    baseline_peak = max(p.goodput_rps for p in baseline)
+    protected_peak = max(p.goodput_rps for p in protected)
+    at_max = multipliers[-1]
+    base_end = baseline[-1].goodput_rps
+    prot_end = protected[-1].goodput_rps
+    print(
+        f"at {at_max:.1f}x offered load: baseline keeps "
+        f"{base_end / baseline_peak:7.1%} of its peak goodput, "
+        f"protected keeps {prot_end / protected_peak:7.1%}"
+    )
     return 0
 
 
@@ -603,6 +642,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="when the default plan crashes stats-host",
     )
     faults.set_defaults(func=cmd_faults)
+
+    overload = sub.add_parser(
+        "overload",
+        help="goodput sweep: baseline collapse vs protected degradation",
+    )
+    overload.add_argument(
+        "--multipliers", default="0.5,1.0,1.5,3.0",
+        help="offered-load multiples of nominal capacity",
+    )
+    overload.add_argument("--duration", type=float, default=0.1)
+    overload.add_argument("--seed", type=int, default=1)
+    overload.set_defaults(func=cmd_overload)
     return parser
 
 

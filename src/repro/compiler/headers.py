@@ -163,6 +163,13 @@ GUARANTEE_FIELDS = {
     "reliable": ("ack", FieldType.INT),
 }
 
+#: wire field carrying the remaining deadline budget (milliseconds) when
+#: deadline propagation is on (repro.overload): the receiver reconstructs
+#: an absolute deadline from it, gRPC-style, so downstream processors can
+#: drop already-expired RPCs before spending service time. Like the
+#: guarantee fields, it exists on the wire only when the stack asks.
+DEADLINE_WIRE_FIELD = ("deadline_ms", FieldType.FLOAT)
+
 
 def guarantee_fields(guarantees) -> Dict[str, FieldType]:
     """Extra wire fields implied by a
@@ -247,6 +254,7 @@ def plan_hop_headers(
     hop_after: Sequence[int],
     kind: str = "request",
     guarantees=None,
+    deadline: bool = False,
 ) -> List[HopHeaderPlan]:
     """Compute the header layout for each processor-boundary hop.
 
@@ -254,9 +262,15 @@ def plan_hop_headers(
     different processor (so a wire header is required). ``kind`` selects
     the direction: request headers carry what later elements read,
     response headers carry what earlier elements' response handlers
-    read. ``guarantees`` (a GuaranteeDecl) may add seq/ack fields.
+    read. ``guarantees`` (a GuaranteeDecl) may add seq/ack fields;
+    ``deadline`` adds :data:`DEADLINE_WIRE_FIELD` (requests only —
+    a response's deadline has already been decided).
     """
     all_types = dict(schema.all_fields())
+    extra: Dict[str, FieldType] = dict(guarantee_fields(guarantees))
+    if deadline and kind != "response":
+        name, type_ = DEADLINE_WIRE_FIELD
+        extra[name] = type_
     plans: List[HopHeaderPlan] = []
     for position in hop_after:
         if kind == "response":
@@ -264,13 +278,13 @@ def plan_hop_headers(
         else:
             needed = fields_needed_downstream(chain, schema, position, kind)
         available = fields_available_at(chain, schema, position, "request")
-        carried = (needed & available) | set(guarantee_fields(guarantees))
+        carried = (needed & available) | set(extra)
         types: Dict[str, FieldType] = {}
         for name in carried:
             if name in all_types:
                 types[name] = all_types[name]
-            elif name in guarantee_fields(guarantees):
-                types[name] = guarantee_fields(guarantees)[name]
+            elif name in extra:
+                types[name] = extra[name]
             else:
                 # element-derived field: take the type from META_FIELDS or
                 # default to STR (derived routing hints are strings)

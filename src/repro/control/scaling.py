@@ -7,6 +7,15 @@ capacity) or scale-in (merge state, remove capacity). Scaling uses
 :class:`repro.state.migration.Migrator`, so the only data-plane impact
 is the flip pause, during which the processor's queue buffers —
 requests are delayed, never dropped.
+
+Overload escalation (repro.overload): the loop also watches the
+resource's estimated queueing delay — the signal that rises before
+utilization windows saturate — and follows the degradation order
+*autoscale before shedding, shed before collapse*: queue pressure first
+triggers scale-out; only once capacity is pinned at ``max_capacity``
+(or scale-out is refused for replication safety) does the loop engage
+the processor's admission controller, and it releases shedding as soon
+as the pressure clears.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional, Sequence, Tuple
 
 from ..ir.replication import ReplicationSafety
+from ..overload.admission import AdmissionController
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
 from ..state.migration import MigrationReport, MigrationTiming, Migrator
@@ -25,7 +35,9 @@ class ScalingEvent:
     """One scaling action taken (or refused) by the autoscaler."""
 
     at_s: float
-    action: str  # "scale_out" | "scale_in" | "refused_out"
+    #: "scale_out" | "scale_in" | "refused_out" | "engaged_shedding"
+    #: | "released_shedding"
+    action: str
     capacity_before: int
     capacity_after: int
     utilization: float
@@ -44,6 +56,10 @@ class AutoscalerConfig:
     max_capacity: int = 8
     min_capacity: int = 1
     cooldown_s: float = 0.2
+    #: estimated queueing delay that also demands scale-out (None
+    #: disables the delay trigger); the same threshold decides when a
+    #: capacity-pinned processor must fall back to shedding
+    queue_delay_high_ms: Optional[float] = None
 
 
 class Autoscaler:
@@ -70,6 +86,7 @@ class Autoscaler:
         stateful_tables: Optional[List] = None,
         migration_timing: Optional[MigrationTiming] = None,
         safety: Optional[Sequence[ReplicationSafety]] = None,
+        admission: Optional[AdmissionController] = None,
     ):
         self.sim = sim
         self.resource = resource
@@ -77,6 +94,9 @@ class Autoscaler:
         self.stateful_tables = stateful_tables or []
         self.safety = list(safety or [])
         self.migrator = Migrator(sim, migration_timing)
+        #: the processor's admission controller, engaged only as the
+        #: last escalation step (shed before collapse)
+        self.admission = admission
         self.events: List[ScalingEvent] = []
         self._last_busy = 0.0
         self._last_sample_at = 0.0
@@ -105,15 +125,22 @@ class Autoscaler:
         while self.sim.now < deadline:
             yield self.sim.timeout(self.config.sample_interval_s)
             utilization = self._window_utilization()
+            delay_high = self._queue_delay_high()
+            pressed = utilization > self.config.high_watermark or delay_high
+            if not pressed:
+                self._release_shedding(utilization)
             if self.sim.now - self._last_action_at < self.config.cooldown_s:
                 continue
-            if (
-                utilization > self.config.high_watermark
-                and self.resource.capacity < self.config.max_capacity
-            ):
+            if pressed:
+                if self.resource.capacity >= self.config.max_capacity:
+                    # cannot scale away the load: degrade gracefully by
+                    # shedding instead of letting the queue collapse
+                    self._engage_shedding(utilization)
+                    continue
                 blockers = self._scale_out_blockers()
                 if blockers:
                     self._refuse_scale_out(utilization, blockers)
+                    self._engage_shedding(utilization)
                     continue
                 yield from self._scale(utilization, out=True)
             elif (
@@ -122,6 +149,44 @@ class Autoscaler:
             ):
                 yield from self._scale(utilization, out=False)
         self._running = False
+
+    def _queue_delay_high(self) -> bool:
+        threshold_ms = self.config.queue_delay_high_ms
+        if threshold_ms is None:
+            return False
+        return self.resource.estimated_sojourn_s() * 1e3 > threshold_ms
+
+    # -- graceful-degradation escalation ----------------------------------
+
+    def _engage_shedding(self, utilization: float) -> None:
+        if self.admission is None or self.admission.engaged:
+            return
+        self.admission.engage(True)
+        capacity = self.resource.capacity
+        self.events.append(
+            ScalingEvent(
+                at_s=self.sim.now,
+                action="engaged_shedding",
+                capacity_before=capacity,
+                capacity_after=capacity,
+                utilization=utilization,
+            )
+        )
+
+    def _release_shedding(self, utilization: float) -> None:
+        if self.admission is None or not self.admission.engaged:
+            return
+        self.admission.engage(False)
+        capacity = self.resource.capacity
+        self.events.append(
+            ScalingEvent(
+                at_s=self.sim.now,
+                action="released_shedding",
+                capacity_before=capacity,
+                capacity_after=capacity,
+                utilization=utilization,
+            )
+        )
 
     def _scale(self, utilization: float, out: bool) -> Generator:
         before = self.resource.capacity

@@ -302,6 +302,34 @@ element Admission {
 )
 
 _define(
+    "AdmissionControl",
+    """
+-- Overload admission control (repro.overload): the meta block asks the
+-- hosting processor to install a CoDel-style delay shedder plus
+-- utilization-triggered probabilistic shedding in front of its queue.
+-- Requests at or above the priority threshold are shed last. The
+-- element body forwards; the shedding happens before entry, where the
+-- runtime can see queueing delay (the DSL deliberately cannot).
+element AdmissionControl {
+    meta {
+        admission_control: true;
+        target_delay_ms: 2.0;
+        interval_ms: 20.0;
+        util_threshold: 0.95;
+        max_shed_probability: 0.5;
+        priority: 1;
+    }
+    on request {
+        SELECT * FROM input;
+    }
+    on response {
+        SELECT * FROM input;
+    }
+}
+""",
+)
+
+_define(
     "Mirror",
     """
 -- Traffic mirroring: duplicate a sample of requests to a shadow service.
@@ -381,7 +409,7 @@ _define(
     "Retry",
     """
 filter Retry {
-    meta { max_retries: 3; timeout_ms: 10.0; }
+    meta { max_retries: 3; timeout_ms: 10.0; deadline_budget_ms: 100.0; }
     use operator retry;
 }
 """,

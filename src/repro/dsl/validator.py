@@ -73,6 +73,15 @@ KNOWN_META_KEYS = frozenset(
         "capacity",
         "ttl_s",
         "checkpoint",  # bool: stream this element's state to a warm standby
+        # overload control (repro.overload)
+        "admission_control",  # bool: install a shedder on the host processor
+        "target_delay_ms",  # CoDel target sojourn
+        "interval_ms",  # CoDel interval
+        "util_threshold",  # utilization where probabilistic shedding starts
+        "max_shed_probability",
+        "priority",  # sheds prefer requests below this priority
+        "seed",
+        "deadline_budget_ms",  # overall budget for one logical call (retry)
     }
 )
 

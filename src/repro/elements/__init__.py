@@ -123,6 +123,13 @@ CATALOG: Dict[str, CatalogEntry] = {
             "§5.1",
         ),
         CatalogEntry(
+            "AdmissionControl",
+            "traffic",
+            "Delay-aware admission control: CoDel on queue sojourn plus "
+            "utilization-triggered shedding, with priority bypass.",
+            "§5.1 (overload control)",
+        ),
+        CatalogEntry(
             "Mirror",
             "testing",
             "Duplicates a sample of requests to a shadow service.",

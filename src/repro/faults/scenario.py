@@ -171,6 +171,10 @@ def run_recovery_scenario(
     checkpoint_timing: Optional[CheckpointTiming] = None,
     horizon_s: float = 2.0,
     strategy: str = "software",
+    circuit_breaker=None,
+    retry_budget=None,
+    queue_limit: Optional[int] = None,
+    client_think_s: float = 0.0,
 ) -> ScenarioResult:
     """Build the scenario, run it to completion, return the evidence.
 
@@ -215,6 +219,9 @@ def run_recovery_scenario(
         registry,
         plan=placement,
         retry_policy=policy,
+        circuit_breaker=circuit_breaker,
+        retry_budget=retry_budget,
+        queue_limit=queue_limit,
     )
 
     # resident state: rows that predate the workload. They ride the
@@ -282,6 +289,7 @@ def run_recovery_scenario(
         total_rpcs=total_rpcs,
         seed=seed,
         fields_fn=fields,
+        think_s=client_think_s,
     )
     metrics = client.run(limit_s=max(horizon_s * 4, 30.0))
 

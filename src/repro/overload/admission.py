@@ -1,0 +1,257 @@
+"""Server-side admission control: shed early, shed cheap.
+
+A saturated processor has two honest options: queue (latency grows
+without bound, every queued RPC still consumes full service time when
+its turn comes) or shed (a fixed, tiny reject cost now). The related
+work — *Dissecting Service Mesh Overheads*, *Sidecars on the Central
+Lane* — measures proxy chains choosing the first option and collapsing;
+this module implements the second.
+
+Two shedding mechanisms compose in :class:`AdmissionController`:
+
+* **CoDel-style delay shedding** — shed when the processor's estimated
+  queueing delay (sojourn time) has stayed above ``target_delay_ms``
+  for a full ``interval_ms``, then keep shedding at increasing
+  frequency (``interval / sqrt(drop_count)``) until the delay dips back
+  under the target. Acting on *delay* rather than queue length makes
+  the threshold service-time independent.
+* **utilization-triggered probabilistic shedding** — above
+  ``util_threshold`` utilization, shed a fraction of traffic that ramps
+  linearly toward ``max_shed_probability`` at 100% utilization, drawn
+  from a seeded RNG (runs replay exactly).
+
+Both mechanisms respect **priority**: requests whose ``priority`` field
+is at or above ``priority_threshold`` bypass probabilistic shedding and
+only fall to CoDel when the delay exceeds twice the target — sheds
+prefer low-priority traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.overload import-light
+    # (runtime.mrpc imports this package, and repro.sim's package init
+    # reaches runtime — a runtime import here would close that cycle)
+    from ..sim.engine import Simulator
+    from ..sim.resources import Resource
+
+#: ``aborted_by`` / drop-reason token for an admission-control shed
+SHED = "Shed"
+
+#: the RPC field carrying the request's priority class (higher = more
+#: important; absent = 0, the first to shed)
+PRIORITY_FIELD = "priority"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for one processor's admission controller."""
+
+    #: CoDel target sojourn: shed once estimated queueing delay has
+    #: exceeded this for a full interval
+    target_delay_ms: float = 2.0
+    #: how long the delay must stay above target before the first shed
+    interval_ms: float = 20.0
+    #: utilization above which probabilistic shedding engages
+    util_threshold: float = 0.95
+    #: shed probability reached as utilization hits 1.0
+    max_shed_probability: float = 0.5
+    #: requests with priority >= this dodge probabilistic shedding and
+    #: get a 2x delay allowance before CoDel sheds them
+    priority_threshold: int = 1
+    #: minimum window for a utilization refresh: shorter spans saturate
+    #: to ~1.0 whenever anything is in service (one busy microsecond is
+    #: "100% utilized"), which would shed spuriously at low load
+    util_window_ms: float = 5.0
+    seed: int = 0
+
+
+@dataclass
+class ShedDecision:
+    """One admission verdict, for observability."""
+
+    at_s: float
+    admitted: bool
+    reason: str  # "" | "codel" | "utilization"
+    sojourn_ms: float
+    priority: int
+
+
+class AdmissionController:
+    """Per-processor admission control over one :class:`Resource`.
+
+    ``admit(rpc)`` returns ``None`` to admit or :data:`SHED` when the
+    request should be rejected *before* queueing or spending service
+    time. Deterministic: the probabilistic component uses a seeded RNG
+    and the CoDel component is pure state-machine over simulated time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        resource: Optional[Resource],
+        config: Optional[AdmissionConfig] = None,
+    ):
+        self.sim = sim
+        self.resource = resource
+        self.config = config or AdmissionConfig()
+        self._rng = random.Random(self.config.seed)
+        # CoDel state
+        self._first_above_at: Optional[float] = None
+        self._dropping = False
+        self._drop_next_at = 0.0
+        self._drop_count = 0
+        # utilization tracking (windowed, fed by engage()/observe)
+        self._last_busy = 0.0
+        self._last_util_at = sim.now
+        self.utilization = 0.0
+        #: autoscaler hook: while True, probabilistic shedding stays on
+        #: regardless of the measured utilization (the scaler saw
+        #: saturation it cannot scale away)
+        self.engaged = False
+        # observability
+        self.sheds = 0
+        self.sheds_by_reason = {"codel": 0, "utilization": 0}
+        self.admitted = 0
+        self.decisions: List[ShedDecision] = []
+        self.record_decisions = False
+
+    # -- signals -----------------------------------------------------------
+
+    def sojourn_s(self) -> float:
+        """The controller's delay signal: the resource's instantaneous
+        estimated queueing delay."""
+        if self.resource is None:
+            return 0.0
+        return self.resource.estimated_sojourn_s()
+
+    def observe_utilization(self) -> float:
+        """Refresh the windowed utilization estimate (call on any cadence
+        — telemetry interval, admission attempts; windows self-define)."""
+        if self.resource is None:
+            return 0.0
+        elapsed = self.sim.now - self._last_util_at
+        if elapsed < self.config.util_window_ms * 1e-3:
+            return self.utilization
+        busy = self.resource.busy_time
+        window_capacity = elapsed * self.resource.capacity
+        self.utilization = (busy - self._last_busy) / window_capacity
+        self._last_busy = busy
+        self._last_util_at = self.sim.now
+        return self.utilization
+
+    def engage(self, on: bool = True) -> None:
+        """Force probabilistic shedding on (autoscaler at max capacity
+        with the overload signal still high) or release it."""
+        self.engaged = on
+
+    # -- the verdict -------------------------------------------------------
+
+    def admit(self, rpc: dict) -> Optional[str]:
+        """None = admitted; :data:`SHED` = reject before service time."""
+        priority = int(rpc.get(PRIORITY_FIELD) or 0)
+        high_priority = priority >= self.config.priority_threshold
+        sojourn = self.sojourn_s()
+        reason = ""
+        if self._codel_wants_shed(sojourn, high_priority):
+            reason = "codel"
+        elif not high_priority and self._utilization_wants_shed():
+            reason = "utilization"
+        if reason:
+            self.sheds += 1
+            self.sheds_by_reason[reason] += 1
+        else:
+            self.admitted += 1
+        if self.record_decisions:
+            self.decisions.append(
+                ShedDecision(
+                    at_s=self.sim.now,
+                    admitted=not reason,
+                    reason=reason,
+                    sojourn_ms=sojourn * 1e3,
+                    priority=priority,
+                )
+            )
+        return SHED if reason else None
+
+    # -- CoDel -------------------------------------------------------------
+
+    def _codel_wants_shed(self, sojourn_s: float, high_priority: bool) -> bool:
+        target_s = self.config.target_delay_ms * 1e-3
+        if high_priority:
+            target_s *= 2.0  # sheds prefer low-priority traffic
+        interval_s = self.config.interval_ms * 1e-3
+        now = self.sim.now
+        if sojourn_s < target_s:
+            # back under target: leave dropping state, reset the clock
+            self._first_above_at = None
+            self._dropping = False
+            self._drop_count = 0
+            return False
+        if self._first_above_at is None:
+            self._first_above_at = now
+            return False
+        if not self._dropping:
+            if now - self._first_above_at < interval_s:
+                return False  # above target, but not for long enough yet
+            self._dropping = True
+            self._drop_count = 1
+            self._drop_next_at = now + interval_s / math.sqrt(
+                self._drop_count + 1
+            )
+            return True
+        if now >= self._drop_next_at:
+            self._drop_count += 1
+            self._drop_next_at = now + interval_s / math.sqrt(
+                self._drop_count + 1
+            )
+            return True
+        return False
+
+    # -- utilization shedding ----------------------------------------------
+
+    def _utilization_wants_shed(self) -> bool:
+        threshold = self.config.util_threshold
+        if self.engaged:
+            utilization = max(self.utilization, 1.0)
+        else:
+            utilization = self.observe_utilization()
+            if utilization <= threshold:
+                return False
+        span = max(1e-9, 1.0 - threshold)
+        fraction = min(1.0, (utilization - threshold) / span)
+        probability = fraction * self.config.max_shed_probability
+        return self._rng.random() < probability
+
+
+def admission_from_meta(
+    sim: Simulator, resource: Optional[Resource], meta: dict
+) -> Optional[AdmissionController]:
+    """Build a controller from an element's ``meta`` block when it asks
+    for one (``meta { admission_control: true; ... }``) — how the stdlib
+    ``AdmissionControl`` element installs server-side shedding on
+    whatever processor hosts it."""
+    if not meta.get("admission_control"):
+        return None
+    defaults = AdmissionConfig()
+    config = AdmissionConfig(
+        target_delay_ms=float(
+            meta.get("target_delay_ms", defaults.target_delay_ms)
+        ),
+        interval_ms=float(meta.get("interval_ms", defaults.interval_ms)),
+        util_threshold=float(
+            meta.get("util_threshold", defaults.util_threshold)
+        ),
+        max_shed_probability=float(
+            meta.get("max_shed_probability", defaults.max_shed_probability)
+        ),
+        priority_threshold=int(
+            meta.get("priority", defaults.priority_threshold)
+        ),
+        seed=int(meta.get("seed", defaults.seed)),
+    )
+    return AdmissionController(sim, resource, config)

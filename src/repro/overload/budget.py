@@ -1,0 +1,162 @@
+"""Client-side overload protection: retry budgets and circuit breaking.
+
+Retries convert transient slowness into load amplification: a server at
+1.1x capacity times out a fraction of calls, each timeout re-issues, the
+effective offered load rises, more calls time out — the metastable
+retry storm. Two mechanisms bound the blast radius:
+
+* :class:`RetryBudget` — a token bucket in the gRPC/Envoy style: each
+  *logical* call deposits ``ratio`` tokens, each retry spends one whole
+  token. Long-run retries are thereby capped at ``ratio`` of calls
+  (e.g. 10%), while ``min_tokens`` lets a cold client ride out an
+  isolated blip.
+* :class:`CircuitBreaker` — closed → open → half-open. Consecutive
+  failures trip it open; while open every call is answered locally
+  (``CircuitOpen``) at zero network/server cost; after ``open_ms`` it
+  goes half-open and admits exactly ``half_open_probes`` probe calls —
+  all must succeed to re-close, any failure re-opens. Which calls
+  become probes is deterministic (the first N to arrive), so seeded
+  runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # annotation-only, see admission.py on the cycle
+    from ..sim.engine import Simulator
+
+#: ``aborted_by`` token for a breaker short-circuit
+CIRCUIT_OPEN = "CircuitOpen"
+
+
+@dataclass(frozen=True)
+class RetryBudgetConfig:
+    """Token-bucket retry budget (retries <= ~ratio of logical calls)."""
+
+    #: tokens deposited per logical call; one retry costs one token
+    ratio: float = 0.1
+    #: initial balance (and floor of the cap): lets a fresh client retry
+    #: through an isolated failure before any deposits accrue
+    min_tokens: float = 10.0
+    #: balance cap, so a long quiet period cannot bank an unbounded
+    #: burst of retries
+    max_tokens: float = 100.0
+
+
+class RetryBudget:
+    """Deterministic token bucket gating retries."""
+
+    def __init__(self, config: Optional[RetryBudgetConfig] = None):
+        self.config = config or RetryBudgetConfig()
+        self.tokens = min(self.config.min_tokens, self.config.max_tokens)
+        self.deposits = 0
+        self.spent = 0
+        self.exhausted = 0
+
+    def on_call(self) -> None:
+        """A logical call was issued: deposit ``ratio`` tokens."""
+        self.deposits += 1
+        self.tokens = min(
+            self.config.max_tokens, self.tokens + self.config.ratio
+        )
+
+    def try_spend(self) -> bool:
+        """Spend one token for a retry; False = budget exhausted (the
+        caller must give up instead of amplifying)."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.exhausted += 1
+        return False
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Knobs for the 3-state breaker."""
+
+    #: consecutive failures that trip closed -> open
+    failure_threshold: int = 5
+    #: how long the breaker stays open before probing
+    open_ms: float = 20.0
+    #: probes admitted in half-open; all must succeed to close
+    half_open_probes: int = 1
+    seed: int = 0
+
+
+class CircuitBreaker:
+    """closed → open → half-open with deterministic probes."""
+
+    def __init__(self, sim: Simulator, policy: Optional[CircuitBreakerPolicy] = None):
+        self.sim = sim
+        self.policy = policy or CircuitBreakerPolicy()
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.short_circuited = 0
+        self.opens = 0
+        self.closes = 0
+        self.transitions = []  # (at_s, state) history
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self.sim.now - self._opened_at >= self.policy.open_ms * 1e-3:
+            return "half-open"
+        return "open"
+
+    def _transition(self, state: str) -> None:
+        self.transitions.append((self.sim.now, state))
+
+    def allow(self) -> bool:
+        """May this logical call go out? ``False`` means answer it
+        locally with :data:`CIRCUIT_OPEN` — record nothing afterwards."""
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open":
+            # admit up to half_open_probes concurrent probes; everything
+            # else keeps short-circuiting until the probes decide
+            if self._probes_in_flight < self.policy.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.short_circuited += 1
+            return False
+        self.short_circuited += 1
+        return False
+
+    def record(self, ok: bool) -> None:
+        """Outcome of a call previously admitted by :meth:`allow`."""
+        if self._opened_at is not None:
+            # a probe (or a straggler from before the trip) came back
+            if self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+            if not ok:
+                # failed probe: re-open, restart the cool-down clock
+                self._opened_at = self.sim.now
+                self._probe_successes = 0
+                self.opens += 1
+                self._transition("open")
+                return
+            self._probe_successes += 1
+            if self._probe_successes >= self.policy.half_open_probes:
+                self._opened_at = None
+                self._probe_successes = 0
+                self._consecutive_failures = 0
+                self.closes += 1
+                self._transition("closed")
+            return
+        if ok:
+            self._consecutive_failures = 0
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.policy.failure_threshold:
+            self._opened_at = self.sim.now
+            self._probe_successes = 0
+            self._probes_in_flight = 0
+            self.opens += 1
+            self._transition("open")

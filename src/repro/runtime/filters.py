@@ -27,13 +27,28 @@ from typing import Callable, Generator, List, Optional, Sequence, Tuple
 
 from ..dsl.ast_nodes import FilterDef
 from ..errors import RuntimeFault
+from ..overload.budget import (
+    CIRCUIT_OPEN,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    RetryBudget,
+)
 from ..sim.engine import Simulator
 from .message import RpcOutcome
 
 CallFn = Callable[..., Generator]
 
-#: aborts considered transient (safe/useful to retry) by default
+#: aborts considered transient (safe/useful to retry) by default.
+#: Overload rejects (Shed, QueueFull, ...) are deliberately absent:
+#: reflexively retrying an explicit shed is how retry storms start
 DEFAULT_RETRYABLE = ("Fault", "Timeout")
+
+#: outcomes a circuit breaker counts as downstream failure — silence
+#: and explicit overload rejects, but not application-level aborts
+#: (an ACL denial is the server working, not the server failing)
+BREAKER_FAILURES = frozenset(
+    {"Timeout", "DeadlineExceeded", "Shed", "QueueFull", "DeadlineExpired"}
+)
 
 
 class _TimeoutSentinel:
@@ -73,19 +88,39 @@ def wrap_retry(
     max_retries: int,
     retry_on: Sequence[str] = DEFAULT_RETRYABLE,
     backoff_ms: float = 0.0,
+    deadline_budget_ms: Optional[float] = None,
 ) -> CallFn:
     """Re-issue RPCs aborted by a retryable element, up to
-    ``max_retries`` additional attempts with optional fixed backoff."""
+    ``max_retries`` additional attempts with optional fixed backoff.
+    With ``deadline_budget_ms`` the whole logical call (attempts and
+    backoffs) is bounded: once the budget is spent, the outcome is
+    returned as ``DeadlineExceeded`` instead of retrying further —
+    without it, a blackholed downstream means unbounded retrying
+    (lint ADN404 flags exactly this configuration)."""
     retryable = frozenset(retry_on)
 
     def shaped(**fields) -> Generator:
         attempts = 0
+        deadline = (
+            sim.now + deadline_budget_ms * 1e-3
+            if deadline_budget_ms is not None
+            else None
+        )
         while True:
             outcome: RpcOutcome = yield sim.process(call(**fields))
             outcome.notes["attempts"] = attempts + 1
             if outcome.ok or attempts >= max_retries:
                 return outcome
             if outcome.aborted_by not in retryable:
+                return outcome
+            if deadline is not None and (
+                sim.now + backoff_ms * 1e-3 >= deadline
+            ):
+                outcome.aborted_by = "DeadlineExceeded"
+                outcome.response = {
+                    "status": "aborted:DeadlineExceeded",
+                    "kind": "response",
+                }
                 return outcome
             attempts += 1
             if backoff_ms > 0:
@@ -121,13 +156,19 @@ class RetryPolicy:
     seed: int = 0
 
     def backoff_s(self, attempt: int, rng: random.Random) -> float:
-        """Backoff after ``attempt`` (1-based) failed attempts."""
+        """Backoff after ``attempt`` (1-based) failed attempts.
+
+        The cap applies *after* jitter: the documented contract is that
+        no sleep ever exceeds ``max_backoff_ms`` (jitter used to push it
+        up to 25% past the cap).
+        """
         raw = self.base_backoff_ms * (
             self.backoff_multiplier ** (attempt - 1)
         )
         capped = min(raw, self.max_backoff_ms)
         jittered = capped * (1.0 + self.jitter * (rng.random() - 0.5))
-        return max(0.0, jittered) * 1e-3
+        bounded = min(max(0.0, jittered), self.max_backoff_ms)
+        return bounded * 1e-3
 
 
 @dataclass
@@ -140,6 +181,17 @@ class RetryStats:
     timeouts: int = 0
     deadline_exceeded: int = 0
     backoff_s_total: float = 0.0
+    #: retries forgone because the token-bucket retry budget was empty
+    budget_exhausted: int = 0
+    #: logical calls answered locally by an open circuit breaker
+    short_circuited: int = 0
+
+    def amplification(self) -> float:
+        """Load amplification: attempts per logical call (1.0 = no
+        retries; a retry storm shows up here before anywhere else)."""
+        if self.logical_calls == 0:
+            return 0.0
+        return self.attempts / self.logical_calls
 
 
 def wrap_retry_policy(
@@ -148,6 +200,9 @@ def wrap_retry_policy(
     policy: RetryPolicy,
     stats: Optional[RetryStats] = None,
     stable_rpc_id: bool = True,
+    budget: Optional[RetryBudget] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    propagate_deadline: bool = False,
 ) -> CallFn:
     """Wrap ``call`` with a :class:`RetryPolicy`.
 
@@ -155,6 +210,19 @@ def wrap_retry_policy(
     field, like ``AdnMrpcStack.call_raw``) every attempt of one logical
     call reuses the same id, which is how the server side can count
     duplicate executions.
+
+    Overload protection (repro.overload) layers on top:
+
+    * ``budget`` — a :class:`~repro.overload.RetryBudget`; every retry
+      must buy a token, and when the bucket runs dry the last failed
+      outcome is returned as-is instead of amplifying the storm;
+    * ``breaker`` — a :class:`~repro.overload.CircuitBreaker`; while it
+      is open, logical calls are answered locally with ``CircuitOpen``
+      at zero downstream cost, and half-open probes decide re-closing;
+    * ``propagate_deadline`` — stamp the absolute deadline into the
+      call's ``deadline_at`` field so a deadline-aware path (the ADN
+      stack) can carry the remaining budget on the wire and drop
+      expired RPCs before spending service time.
     """
     retryable = frozenset(policy.retry_on)
     rng = random.Random(policy.seed)
@@ -165,6 +233,20 @@ def wrap_retry_policy(
     def shaped(**fields) -> Generator:
         issued_at = sim.now
         stats.logical_calls += 1
+        if budget is not None:
+            budget.on_call()
+        if breaker is not None and not breaker.allow():
+            stats.short_circuited += 1
+            return RpcOutcome(
+                request=dict(fields),
+                response={
+                    "status": f"aborted:{CIRCUIT_OPEN}",
+                    "kind": "response",
+                },
+                issued_at=issued_at,
+                completed_at=sim.now,
+                aborted_by=CIRCUIT_OPEN,
+            )
         if stable_rpc_id:
             fields.setdefault("rpc_id", next(ids))
         deadline = (
@@ -172,6 +254,8 @@ def wrap_retry_policy(
             if policy.deadline_budget_ms is not None
             else None
         )
+        if propagate_deadline and deadline is not None:
+            fields["deadline_at"] = deadline
         attempt = 0
         while True:
             attempt += 1
@@ -197,9 +281,9 @@ def wrap_retry_policy(
                 outcome = winner
             outcome.notes["attempts"] = attempt
             if outcome.ok or attempt >= policy.max_attempts:
-                return outcome
+                return _finish(outcome)
             if outcome.aborted_by not in retryable:
-                return outcome
+                return _finish(outcome)
             backoff = policy.backoff_s(attempt, rng)
             if deadline is not None and sim.now + backoff >= deadline:
                 stats.deadline_exceeded += 1
@@ -208,14 +292,28 @@ def wrap_retry_policy(
                     "status": "aborted:DeadlineExceeded",
                     "kind": "response",
                 }
-                return outcome
+                return _finish(outcome)
+            if budget is not None and not budget.try_spend():
+                # budget exhausted: give up with the failure we have
+                # rather than amplify offered load past the configured
+                # retries-to-calls ratio
+                stats.budget_exhausted += 1
+                return _finish(outcome)
             stats.retries += 1
             if backoff > 0:
                 stats.backoff_s_total += backoff
                 yield sim.timeout(backoff)
 
+    def _finish(outcome: RpcOutcome) -> RpcOutcome:
+        if breaker is not None:
+            failed = (not outcome.ok) and outcome.aborted_by in BREAKER_FAILURES
+            breaker.record(not failed)
+        return outcome
+
     shaped.policy = policy  # type: ignore[attr-defined]
     shaped.stats = stats  # type: ignore[attr-defined]
+    shaped.budget = budget  # type: ignore[attr-defined]
+    shaped.breaker = breaker  # type: ignore[attr-defined]
     return shaped
 
 
@@ -383,12 +481,16 @@ def apply_filter(sim: Simulator, call: CallFn, filter_def: FilterDef) -> CallFn:
             if retry_on
             else DEFAULT_RETRYABLE
         )
+        deadline_budget = meta.get("deadline_budget_ms")
         return wrap_retry(
             sim,
             shaped,
             max_retries=int(meta.get("max_retries", 3)),
             retry_on=retryable,
             backoff_ms=float(meta.get("backoff_ms", 0.0)),
+            deadline_budget_ms=(
+                float(deadline_budget) if deadline_budget is not None else None
+            ),
         )
     if operator == "rate_limit_shaper":
         return wrap_rate_shaper(sim, call, float(meta.get("rate", 1000.0)))

@@ -32,6 +32,14 @@ from ..dsl.functions import FunctionRegistry
 from ..dsl.schema import RpcSchema
 from ..net.tcp import wire_bytes_for_message
 from ..net.wire import AdnWireCodec
+from ..overload import DEADLINE_EXPIRED, DEADLINE_FIELD, OVERLOAD_ABORTS
+from ..overload.admission import AdmissionConfig, AdmissionController
+from ..overload.budget import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    RetryBudget,
+    RetryBudgetConfig,
+)
 from ..platforms import Platform
 from ..sim.cluster import Cluster
 from ..sim.engine import US, Simulator
@@ -90,6 +98,10 @@ class AdnMrpcStack:
         server_handler=None,
         tracing: bool = False,
         retry_policy=None,
+        queue_limit: Optional[int] = None,
+        admission: Optional[AdmissionConfig] = None,
+        retry_budget: Optional[RetryBudgetConfig] = None,
+        circuit_breaker: Optional[CircuitBreakerPolicy] = None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -129,6 +141,16 @@ class AdnMrpcStack:
             ProcessorRuntime(sim, cluster, segment, chain, registry, handcoded)
             for segment in self.plan.segments
         ]
+        #: overload-control configuration (repro.overload): bounded
+        #: queues + admission control on every processor, and deadline
+        #: propagation on the wire whenever the retry policy carries a
+        #: deadline budget (the budget IS the deadline being propagated).
+        self._queue_limit = queue_limit
+        self._admission_config = admission
+        self._propagate_deadline = retry_policy is not None and (
+            getattr(retry_policy, "deadline_budget_ms", None) is not None
+        )
+        self._configure_overload(self.processors)
         self._transport: Dict[str, Resource] = {}
         for side, machine_name, mode in (
             ("client", "client-host", self.plan.client_transport),
@@ -157,6 +179,9 @@ class AdnMrpcStack:
         #: and server-side logic runs beyond the first per logical RPC
         self.rpcs_lost = 0
         self.lost_by: Dict[str, int] = {}
+        #: requests whose propagated deadline expired in flight, caught
+        #: at the server boundary before application service time
+        self.deadline_expired_at_server = 0
         self.duplicate_server_executions = 0
         self._server_executions: Dict[object, int] = {}
         self._attach_l2()
@@ -166,12 +191,26 @@ class AdnMrpcStack:
         # filters shape already-reliable calls.
         base = self.call_raw
         self.retry_stats = None
+        self.retry_budget: Optional[RetryBudget] = (
+            RetryBudget(retry_budget) if retry_budget is not None else None
+        )
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(sim, circuit_breaker)
+            if circuit_breaker is not None
+            else None
+        )
         if retry_policy is not None:
             from .filters import RetryStats, wrap_retry_policy
 
             self.retry_stats = RetryStats()
             base = wrap_retry_policy(
-                self.sim, base, retry_policy, stats=self.retry_stats
+                self.sim,
+                base,
+                retry_policy,
+                stats=self.retry_stats,
+                budget=self.retry_budget,
+                breaker=self.breaker,
+                propagate_deadline=self._propagate_deadline,
             )
         if filters:
             from .filters import apply_filters
@@ -183,6 +222,29 @@ class AdnMrpcStack:
             self.call = base
 
     # -- setup -----------------------------------------------------------
+
+    def _configure_overload(
+        self, processors: List[ProcessorRuntime]
+    ) -> None:
+        """Apply stack-level overload controls to a processor set (also
+        re-applied after a failover re-plan): bound every processor's
+        queue and install an admission controller per processor. Meta-
+        driven installs (the stdlib ``AdmissionControl`` element) happen
+        inside ProcessorRuntime and win only when the stack itself does
+        not configure admission."""
+        for processor in processors:
+            if processor.resource is None:
+                continue  # switch pipeline: line rate, nothing queues
+            if self._queue_limit is not None:
+                processor.resource.queue_limit = self._queue_limit
+                if processor.segment.queue_limit is None:
+                    processor.segment.queue_limit = self._queue_limit
+            if self._admission_config is not None:
+                processor.install_admission(
+                    AdmissionController(
+                        self.sim, processor.resource, self._admission_config
+                    )
+                )
 
     def _seed_load_balancers(self) -> None:
         replicas = [
@@ -208,6 +270,7 @@ class AdnMrpcStack:
         plans = plan_hop_headers(
             self.chain.ir, self.schema, [boundary],
             guarantees=self.guarantees,
+            deadline=self._propagate_deadline,
         )
         self.hop_plan = plans[0]
         response_plans = plan_hop_headers(
@@ -277,12 +340,21 @@ class AdnMrpcStack:
         extra = self.costs.mrpc_tcp_unbatched_extra_us
         return cpu, extra, wire
 
-    def _cross_wire(self, message: Row) -> Optional[Row]:
+    def _cross_wire(
+        self, message: Row, deadline_at: Optional[float] = None
+    ) -> Optional[Row]:
         """What the far side of the hop actually receives: the tuple
         encoded with the hop's minimal header layout and decoded again.
         Fields the compiler proved unnecessary downstream really do not
         cross — a layout bug shows up as behavioural divergence, not
-        just a wrong byte count."""
+        just a wrong byte count.
+
+        With deadline propagation on, the *remaining* budget (ms) rides
+        the request header (gRPC-style — relative budgets survive clock
+        skew that absolute timestamps would not); the receiver rebuilds
+        an absolute deadline via :meth:`_deadline_after_wire`. -1 is the
+        "no deadline" sentinel, distinct from 0 = already expired.
+        """
         codec = self._codec_for(message)
         outbound = dict(message)
         if self.guarantees is not None and getattr(
@@ -291,6 +363,12 @@ class AdnMrpcStack:
             if outbound.get("kind") != "response":
                 self._next_seq += 1
                 outbound["seq"] = self._next_seq
+        if self._propagate_deadline and outbound.get("kind") != "response":
+            outbound[DEADLINE_FIELD] = (
+                max(0.0, (deadline_at - self.sim.now) * 1e3)
+                if deadline_at is not None
+                else -1.0
+            )
         from_side = (
             "client" if outbound.get("kind") != "response" else "server"
         )
@@ -306,6 +384,16 @@ class AdnMrpcStack:
         # element reads it) is intentionally absent; readers get the
         # layout's defaults
         return received
+
+    def _deadline_after_wire(self, received: Row) -> Optional[float]:
+        """Absolute deadline as the *receiver* computes it — strictly
+        from the wire field, so the layout really carries the budget."""
+        if not self._propagate_deadline:
+            return None
+        remaining_ms = received.get(DEADLINE_FIELD)
+        if remaining_ms is None or float(remaining_ms) < 0.0:
+            return None
+        return self.sim.now + float(remaining_ms) * 1e-3
 
     def _use(self, resource: Resource, cpu_us: float) -> Generator:
         yield from resource.use(cpu_us * US)
@@ -338,6 +426,13 @@ class AdnMrpcStack:
         """Issue one RPC through the raw path (no stream-shaping
         filters); returns an :class:`RpcOutcome`."""
         issued_at = self.sim.now
+        # the caller's absolute deadline (wrap_retry_policy injects it
+        # when the policy has a deadline budget); it crosses the wire as
+        # a remaining-ms header field, never as an application field
+        raw_deadline = fields.pop("deadline_at", None)
+        deadline_at: Optional[float] = (
+            float(raw_deadline) if raw_deadline is not None else None  # type: ignore[arg-type]
+        )
         request = make_request(
             self.schema,
             src=f"{self.client_service}.0",
@@ -372,9 +467,10 @@ class AdnMrpcStack:
                     yield self.sim.timeout(extra * US)
                 hop_started = self.sim.now
                 yield from self._wire_hop(wire, hops=1)
-                current = self._cross_wire(current)
+                current = self._cross_wire(current, deadline_at=deadline_at)
                 if current is None:
                     yield from self._lost("wire:forward")
+                deadline_at = self._deadline_after_wire(current)
                 crossed_wire = True
                 if self.tracing:
                     trace.append(("wire:forward", hop_started, self.sim.now))
@@ -382,7 +478,7 @@ class AdnMrpcStack:
                 yield from self._lost(f"crash:{processor.segment.machine}")
             span_started = self.sim.now
             result = yield self.sim.process(
-                processor.execute("request", current)
+                processor.execute("request", current, deadline_at=deadline_at)
             )
             if self.tracing:
                 trace.append(
@@ -409,9 +505,10 @@ class AdnMrpcStack:
                     yield self.sim.timeout(extra * US)
                 hop_started = self.sim.now
                 yield from self._wire_hop(wire, hops=1)
-                current = self._cross_wire(current)
+                current = self._cross_wire(current, deadline_at=deadline_at)
                 if current is None:
                     yield from self._lost("wire:forward")
+                deadline_at = self._deadline_after_wire(current)
                 crossed_wire = True
                 if self.tracing:
                     trace.append(("wire:forward", hop_started, self.sim.now))
@@ -421,24 +518,34 @@ class AdnMrpcStack:
             yield self.sim.timeout(self.costs.mrpc_rx_wakeup_extra_us * US)
             cpu, extra, _wire = self._transport_cost("server", current)
             yield from self._use(self._transport["server"], cpu)
-            yield from self._use(
-                self._transport["server"], self.costs.mrpc_shm_post_us
-            )
-            # decode exactly what the wire carried (fidelity check lives
-            # in tests: the server sees only header-plan fields)
-            yield from self._use(self.server_app, self.costs.app_logic_us)
-            # at-least-once bookkeeping: with a retry policy, attempts of
-            # one logical RPC share an rpc_id — a retry after the server
-            # already ran (response lost on the way back) shows up here
-            executions = self._server_executions.get(request["rpc_id"], 0) + 1
-            self._server_executions[request["rpc_id"]] = executions
-            if executions > 1:
-                self.duplicate_server_executions += 1
-            if self.server_handler is not None:
-                overrides = yield from self.server_handler(current)
-                response = make_response(current, **(overrides or {}))
+            if deadline_at is not None and self.sim.now > deadline_at:
+                # the propagated deadline expired in flight: the caller
+                # has already given up, so answer with a cheap abort
+                # instead of spending application service time
+                self.deadline_expired_at_server += 1
+                dropped_by = DEADLINE_EXPIRED
+                response = make_abort(current, dropped_by)
             else:
-                response = make_response(current)
+                yield from self._use(
+                    self._transport["server"], self.costs.mrpc_shm_post_us
+                )
+                # decode exactly what the wire carried (fidelity check
+                # lives in tests: the server sees only header-plan fields)
+                yield from self._use(self.server_app, self.costs.app_logic_us)
+                # at-least-once bookkeeping: with a retry policy, attempts
+                # of one logical RPC share an rpc_id — a retry after the
+                # server already ran (response lost coming back) shows here
+                executions = (
+                    self._server_executions.get(request["rpc_id"], 0) + 1
+                )
+                self._server_executions[request["rpc_id"]] = executions
+                if executions > 1:
+                    self.duplicate_server_executions += 1
+                if self.server_handler is not None:
+                    overrides = yield from self.server_handler(current)
+                    response = make_response(current, **(overrides or {}))
+                else:
+                    response = make_response(current)
         else:
             response = make_abort(current, dropped_by)
 
@@ -453,7 +560,9 @@ class AdnMrpcStack:
             or (
                 dropped_after_entry
                 if processor is dropping_processor
-                else self._before_drop(processor, dropped_by)
+                else self._before_drop(
+                    processor, dropped_by, dropping_processor
+                )
             )
         ]
         returned_wire = crossed_wire
@@ -529,10 +638,28 @@ class AdnMrpcStack:
             outcome.notes["trace"] = trace
         return outcome
 
-    def _before_drop(self, processor: ProcessorRuntime, dropped_by: str) -> bool:
+    def _before_drop(
+        self,
+        processor: ProcessorRuntime,
+        dropped_by: str,
+        dropping_processor: Optional[ProcessorRuntime] = None,
+    ) -> bool:
         """True when ``processor`` was traversed before the dropper (its
-        elements see the response on the way back)."""
+        elements see the response on the way back).
+
+        ``dropped_by`` is usually an element name, but overload-control
+        drops carry a synthetic reason (``Shed``/``QueueFull``/
+        ``DeadlineExpired``) that names no element — those gate at
+        processor entry, so position is decided by the dropping
+        processor itself (or the server boundary when it is None: every
+        processor was traversed)."""
         order = self._traversal_order
+        if dropped_by in OVERLOAD_ABORTS or dropped_by not in order:
+            if dropping_processor is None:
+                return True  # dropped at the server: everyone saw it
+            return self.processors.index(processor) < self.processors.index(
+                dropping_processor
+            )
         drop_index = order.index(dropped_by)
         indices = [order.index(n) for n in processor.segment.elements if n in order]
         if not indices:
@@ -580,6 +707,7 @@ class AdnMrpcStack:
             for segment in new_plan.segments
             for name in segment.elements
         ]
+        self._configure_overload(self.processors)
         self._seed_load_balancers()
         self._codec = self._build_codec()
         return old

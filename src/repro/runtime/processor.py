@@ -17,6 +17,8 @@ from typing import Dict, Generator, List, Optional, Tuple
 from ..compiler.compiler import CompiledChain
 from ..dsl.functions import FunctionRegistry
 from ..errors import PlacementError
+from ..overload import DEADLINE_EXPIRED, QUEUE_FULL
+from ..overload.admission import AdmissionController, admission_from_meta
 from ..platforms import Platform
 from ..sim.cluster import Cluster, Machine
 from ..sim.costmodel import CostModel
@@ -39,6 +41,10 @@ class PlacementSegment:
     stages: Tuple[Tuple[str, ...], ...] = ()
     #: number of replicated processor instances (Figure 2 config 4)
     replicas: int = 1
+    #: bound on the processor's wait queue (repro.overload): RPCs
+    #: arriving past it are rejected explicitly (``QueueFull``) instead
+    #: of waiting forever; None keeps the legacy unbounded queue
+    queue_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.stages:
@@ -112,6 +118,24 @@ class ProcessorRuntime:
             )
         self.rpcs_processed = 0
         self.rpcs_dropped = 0
+        #: overload-control drop taxonomy (repro.overload): sheds by the
+        #: admission controller, bounded-queue rejects, and RPCs dropped
+        #: because their propagated deadline had already expired
+        self.rpcs_shed = 0
+        self.rpcs_queue_rejected = 0
+        self.rpcs_deadline_expired = 0
+        #: admission controller, if installed — programmatically or by a
+        #: hosted element's ``meta { admission_control: true; }``
+        self.admission: Optional[AdmissionController] = None
+        if segment.queue_limit is not None and self.resource is not None:
+            self.resource.queue_limit = segment.queue_limit
+        for name in segment.elements:
+            controller = admission_from_meta(
+                sim, self.resource, chain.elements[name].ir.meta
+            )
+            if controller is not None:
+                self.admission = controller
+                break
         #: fault hooks (repro.faults): a pending hang gate, and a cost
         #: multiplier for a degraded (thermal-throttled, noisy-neighbour)
         #: processor
@@ -263,14 +287,52 @@ class ProcessorRuntime:
             return per_element
         return per_element * element_count
 
-    def execute(self, kind: str, rpc: Row) -> Generator:
+    def install_admission(self, controller: AdmissionController) -> None:
+        """Install (or replace) this processor's admission controller."""
+        self.admission = controller
+
+    def _overload_drop(self, reason: str) -> SegmentResult:
+        """An RPC rejected before any element ran: no service time was
+        spent (that is the whole point — shed early, shed cheap), the
+        abort turnaround starts here."""
+        self.rpcs_dropped += 1
+        if reason == QUEUE_FULL:
+            self.rpcs_queue_rejected += 1
+        elif reason == DEADLINE_EXPIRED:
+            self.rpcs_deadline_expired += 1
+        else:
+            self.rpcs_shed += 1
+        return SegmentResult(
+            outputs=[], dropped_by=reason, dropped_after_entry=False
+        )
+
+    def execute(
+        self, kind: str, rpc: Row, deadline_at: Optional[float] = None
+    ) -> Generator:
         """Simulation process: queue on the platform resource, execute,
-        hold for the computed service time. Returns a SegmentResult."""
+        hold for the computed service time. Returns a SegmentResult.
+
+        Requests pass three overload gates *before* queueing or spending
+        service time: the propagated deadline (an expired RPC's caller
+        has already given up — completing it is pure waste), the
+        admission controller (CoDel / utilization shedding), and the
+        bounded queue (explicit ``QueueFull`` reject at the limit).
+        """
         while self.hang_event is not None:
             # hung: park until the injector resumes us (the loop re-checks
             # in case a second hang lands the instant the first lifts)
             yield self.hang_event
         self.rpcs_processed += 1
+        if kind == "request":
+            if deadline_at is not None and self.sim.now > deadline_at:
+                return self._overload_drop(DEADLINE_EXPIRED)
+            if self.admission is not None and self.resource is not None:
+                reason = self.admission.admit(rpc)
+                if reason is not None:
+                    return self._overload_drop(reason)
+            if self.resource is not None and not self.resource.can_enqueue:
+                self.resource.reject()
+                return self._overload_drop(QUEUE_FULL)
         if self.resource is None:
             # switch pipeline: line rate, latency only
             result = self._run_functionally(kind, rpc)

@@ -34,6 +34,15 @@ class ProcessorReport:
     utilization: float  # of the processor's resource over the window
     element_processed: Dict[str, int] = field(default_factory=dict)
     element_dropped: Dict[str, int] = field(default_factory=dict)
+    #: overload signals (repro.overload): instantaneous queue depth,
+    #: mean queueing delay of grants in the window, and the window's
+    #: overload drops by class — what the autoscaler and admission
+    #: controllers act on before throughput collapses
+    queue_depth: int = 0
+    queue_delay_ms: float = 0.0
+    sheds_in_window: int = 0
+    queue_rejects_in_window: int = 0
+    deadline_drops_in_window: int = 0
 
     @property
     def rate_rps(self) -> float:
@@ -46,6 +55,14 @@ class ProcessorReport:
         if self.rpcs_in_window == 0:
             return 0.0
         return self.drops_in_window / self.rpcs_in_window
+
+    @property
+    def overload_drops_in_window(self) -> int:
+        return (
+            self.sheds_in_window
+            + self.queue_rejects_in_window
+            + self.deadline_drops_in_window
+        )
 
 
 ReportSink = Callable[[ProcessorReport], None]
@@ -75,6 +92,11 @@ class TelemetryCollector:
             "processed": 0.0,
             "dropped": 0.0,
             "busy": 0.0,
+            "wait": 0.0,
+            "grants": 0.0,
+            "shed": 0.0,
+            "qrej": 0.0,
+            "dexp": 0.0,
             "at": self.sim.now,
         }
 
@@ -128,6 +150,15 @@ class TelemetryCollector:
                 if window > 0
                 else 0.0
             )
+            resource = processor.resource
+            wait = resource.queue_wait_s_total if resource is not None else 0.0
+            grants = resource.grants if resource is not None else 0
+            grants_in_window = grants - last["grants"]
+            queue_delay_ms = (
+                (wait - last["wait"]) / grants_in_window * 1e3
+                if grants_in_window > 0
+                else 0.0
+            )
             report = ProcessorReport(
                 at_s=self.sim.now,
                 platform=processor.segment.platform.value,
@@ -141,11 +172,27 @@ class TelemetryCollector:
                 utilization=utilization,
                 element_processed=dict(processor.element_processed),
                 element_dropped=dict(processor.element_dropped),
+                queue_depth=(
+                    resource.queue_length if resource is not None else 0
+                ),
+                queue_delay_ms=queue_delay_ms,
+                sheds_in_window=int(processor.rpcs_shed - last["shed"]),
+                queue_rejects_in_window=int(
+                    processor.rpcs_queue_rejected - last["qrej"]
+                ),
+                deadline_drops_in_window=int(
+                    processor.rpcs_deadline_expired - last["dexp"]
+                ),
             )
             last.update(
                 processed=float(processor.rpcs_processed),
                 dropped=float(processor.rpcs_dropped),
                 busy=busy,
+                wait=wait,
+                grants=float(grants),
+                shed=float(processor.rpcs_shed),
+                qrej=float(processor.rpcs_queue_rejected),
+                dexp=float(processor.rpcs_deadline_expired),
                 at=self.sim.now,
             )
             samples.append(report)

@@ -43,12 +43,19 @@ class ClosedLoopClient:
         seed: int = 1,
         fields_fn: Optional[Callable[[random.Random, int], Dict[str, object]]] = None,
         warmup_rpcs: int = 0,
+        think_s: float = 0.0,
     ):
         self.sim = sim
         self.call = call
         self.concurrency = concurrency
         self.total_rpcs = total_rpcs
         self.warmup_rpcs = warmup_rpcs
+        #: per-worker pause between completions. Zero keeps the paper's
+        #: tight closed loop; a positive think time matters when the path
+        #: can answer instantly (an open circuit breaker short-circuits
+        #: with no simulated delay, and a zero-think loop would then
+        #: drain the whole workload in zero simulated time)
+        self.think_s = think_s
         self.rng = random.Random(seed)
         self.fields_fn = fields_fn or _default_fields
         self.metrics = RunMetrics()
@@ -90,6 +97,8 @@ class ClosedLoopClient:
             self.metrics.latency.record(outcome.latency_s)
             if not outcome.ok:
                 self.metrics.aborted += 1
+            if self.think_s > 0:
+                yield self.sim.timeout(self.think_s)
 
 
 class OpenLoopClient:

@@ -225,6 +225,89 @@ def test_fault_soak_trial(seed):
         assert processor.slowdown_factor == 1.0, context
 
 
+# -- crash under overload protection: the breaker rides the blackout ---------
+
+
+def run_overloaded_crash_trial(seed: int):
+    """The canonical recovery scenario, but with the full overload kit
+    armed: a tight retry policy (so the blackout surfaces as fast logical
+    failures instead of being absorbed by patient retries), a circuit
+    breaker in front of the stack, a retry budget, and bounded queues.
+    The breaker must open while ``stats-host`` is dark and re-close once
+    recovery restores the element from the warm standby."""
+    from repro.faults import run_recovery_scenario
+    from repro.overload import CircuitBreakerPolicy, RetryBudgetConfig
+    from repro.runtime import RetryPolicy
+
+    return run_recovery_scenario(
+        seed=seed,
+        total_rpcs=1200,
+        concurrency=4,
+        table_rows=100,
+        retry_policy=RetryPolicy(
+            max_attempts=3,
+            per_attempt_timeout_ms=2.0,
+            base_backoff_ms=0.2,
+            max_backoff_ms=1.0,
+            retry_on=("Timeout",),
+            seed=seed,
+        ),
+        circuit_breaker=CircuitBreakerPolicy(
+            failure_threshold=2, open_ms=5.0, half_open_probes=1
+        ),
+        retry_budget=RetryBudgetConfig(
+            ratio=0.5, min_tokens=20.0, max_tokens=50.0
+        ),
+        queue_limit=32,
+        # pace the loop: an open breaker answers with no simulated
+        # delay, and a zero-think closed loop would drain the whole
+        # workload at one sim instant while the breaker is open
+        client_think_s=0.0005,
+    )
+
+
+def test_crash_mid_overload_recovers():
+    result = run_overloaded_crash_trial(seed=5)
+    breaker = result.stack.breaker
+    # 1. every issued RPC is answered — aborts are explicit, not silent
+    assert result.metrics.completed == result.total_rpcs
+    # 2. the breaker opened during the blackout (fast local failure
+    #    instead of hammering a dead machine) ...
+    assert breaker.opens >= 1
+    assert breaker.short_circuited > 0
+    # 3. ... and re-closed once recovery restored the element
+    assert breaker.closes >= 1
+    assert breaker.state == "closed"
+    # 4. recovery actually ran: re-homed off the dead machine and
+    #    restored the tally from the warm standby
+    report = result.report
+    assert report is not None
+    assert report.rows_restored > 0
+    # 5. the service finished healthy: the tail of the workload (after
+    #    the breaker re-closed) completed without aborts
+    assert result.metrics.completed > result.metrics.aborted
+
+
+def test_crash_mid_overload_reproducible():
+    """Same seed, same storm: breaker timeline and metrics replay."""
+
+    def signature(seed):
+        result = run_overloaded_crash_trial(seed)
+        breaker = result.stack.breaker
+        return (
+            result.metrics.completed,
+            result.metrics.aborted,
+            result.metrics.elapsed_s,
+            breaker.opens,
+            breaker.closes,
+            tuple(breaker.transitions),
+            result.stack.retry_stats.attempts,
+            result.stack.retry_stats.logical_calls,
+        )
+
+    assert signature(5) == signature(5)
+
+
 def test_fault_soak_reproducible():
     """Same seed, same trouble: the soak replays bit-identically."""
     def signature(seed):

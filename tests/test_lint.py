@@ -40,7 +40,7 @@ class TestRuleCatalog:
         assert {
             "ADN201", "ADN202", "ADN203", "ADN204", "ADN205",
             "ADN301", "ADN302", "ADN303", "ADN310", "ADN401", "ADN402",
-            "ADN403",
+            "ADN403", "ADN404",
         } <= codes
 
 
@@ -252,6 +252,45 @@ class TestPlacementRules:
         # not reported
         result = lint_source(self.RMW_COUNTER.format(meta="").split("app ")[0])
         assert not find(result, "ADN403")
+
+
+class TestOverloadRules:
+    """ADN404: retries without a deadline budget amplify overload."""
+
+    UNBUDGETED = (
+        "filter Eager {\n"
+        "    meta { max_retries: 5; timeout_ms: 10.0; }\n"
+        "    use operator retry;\n"
+        "}\n"
+    )
+
+    def test_retry_without_deadline_adn404(self):
+        result = lint_source(self.UNBUDGETED)
+        (diagnostic,) = find(result, "ADN404")
+        assert diagnostic.severity is Severity.WARNING
+        assert "Eager" in diagnostic.message
+        assert "deadline_budget_ms" in diagnostic.fix
+        # a real span: the filter's own declaration site
+        assert diagnostic.line >= 1 and diagnostic.column >= 1
+
+    def test_deadline_budget_silences_adn404(self):
+        result = lint_source(
+            "filter Patient {\n"
+            "    meta { max_retries: 5; timeout_ms: 10.0;"
+            " deadline_budget_ms: 50.0; }\n"
+            "    use operator retry;\n"
+            "}\n"
+        )
+        assert not find(result, "ADN404")
+
+    def test_non_retry_filters_are_quiet(self):
+        result = lint_source(
+            "filter JustTimeout {\n"
+            "    meta { timeout_ms: 25.0; }\n"
+            "    use operator timeout;\n"
+            "}\n"
+        )
+        assert not find(result, "ADN404")
 
 
 class TestDemoFile:

@@ -37,7 +37,7 @@ def strip(rows):
 
 class TestLibraryShape:
     def test_all_sources_load(self, program):
-        assert len(program.elements) == 18
+        assert len(program.elements) == 19
         assert len(program.filters) == 4
 
     def test_every_element_is_tens_of_lines(self):
