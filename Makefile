@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench faults overload examples check-all lint typecheck loc
+.PHONY: install test bench faults overload graph examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -48,6 +48,18 @@ overload:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_overload.py -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_overload.py -q -k smoke
 	PYTHONPATH=src $(PYTHON) -m repro overload --duration 0.05
+
+graph:
+	@# service-graph layer: topology validation + lint (ADN405) over the
+	@# shipped spec and both built-in graphs, the graph unit suites, and
+	@# a small end-to-end mesh scenario via the CLI demo graph
+	PYTHONPATH=src $(PYTHON) -m repro graph examples/bookinfo.graph.json \
+	    --fail-on warning
+	PYTHONPATH=src $(PYTHON) -m repro graph --demo hotel-mesh \
+	    --fail-on warning --format json >/dev/null
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_graph.py \
+	    tests/test_graph_runtime.py -q
+	PYTHONPATH=src $(PYTHON) examples/bookinfo.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

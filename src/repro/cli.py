@@ -11,7 +11,11 @@ Commands:
   print the fault timeline plus the recovery report;
 * ``overload`` — goodput sweep past saturation: the unprotected
   baseline's metastable collapse vs the protected stack's graceful
-  degradation (repro.overload).
+  degradation (repro.overload);
+* ``graph``   — load/validate a service-graph topology spec
+  (repro.graph), print every edge with its attached chain, the
+  topology lint findings (ADN405), and the solved cross-service
+  placement.
 
 The RPC schema is given as repeated ``--field name:type`` options
 (types: str, int, float, bool, bytes). A reasonable default schema
@@ -508,6 +512,99 @@ def cmd_overload(args) -> int:
     return 0
 
 
+def cmd_graph(args) -> int:
+    from .graph import check_deadline_propagation, solve_graph_placement
+    from .graph.model import ServiceGraph
+    from .graph.placement import default_machine_pool
+    from .graph.scenario import MESH_SCHEMA, bookinfo_graph, hotel_mesh_graph
+    from .lint import Severity
+
+    schema = _schema_from_args(args.field) if args.field else MESH_SCHEMA
+    if args.spec:
+        where = args.spec
+        graph = ServiceGraph.load(args.spec)
+    else:
+        where = f"<demo:{args.demo}>"
+        graph = (
+            bookinfo_graph() if args.demo == "bookinfo"
+            else hotel_mesh_graph()
+        )
+    program = load_stdlib(schema=schema)
+    errors = graph.check_chains(program, schema)
+    diagnostics = check_deadline_propagation(graph, path=where)
+    placement = None
+    if not errors and not args.no_place:
+        placement = solve_graph_placement(
+            graph,
+            program,
+            schema,
+            strategy=args.strategy,
+            machines=default_machine_pool(args.machines),
+        )
+    threshold = Severity.from_name(args.fail_on)
+    failed = bool(errors) or any(
+        d.severity.rank >= threshold.rank for d in diagnostics
+    )
+
+    if args.format == "json":
+        payload = {
+            "graph": graph.to_dict(),
+            "ok": not failed,
+            "errors": errors,
+            "lint": [d.to_dict() for d in diagnostics],
+            "entry": graph.entry_services(),
+            "depth": graph.depth(),
+        }
+        if placement is not None:
+            payload["placement"] = placement.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+
+    order = graph.topological_order()
+    print(f"graph {graph.name}: {len(graph.services)} services, "
+          f"{len(graph.edges)} edges, depth {graph.depth()} "
+          f"(entry: {', '.join(graph.entry_services())})")
+    for service in order:
+        spec = graph.services[service]
+        extras = []
+        if spec.replicas != 1:
+            extras.append(f"x{spec.replicas}")
+        if placement is not None:
+            extras.append(f"@{placement.machine_of(service)}")
+        elif spec.machine is not None:
+            extras.append(f"@{spec.machine}")
+        print(f"  service {service:16s} {' '.join(extras)}")
+    for edge in graph.edges:
+        knobs = []
+        if edge.deadline_budget_ms is not None:
+            knobs.append(f"deadline={edge.deadline_budget_ms:g}ms")
+        if edge.retries:
+            knobs.append(f"attempts={edge.max_attempts}")
+        if edge.per_attempt_timeout_ms is not None:
+            knobs.append(f"timeout={edge.per_attempt_timeout_ms:g}ms")
+        if edge.admission:
+            knobs.append("admission")
+        if edge.breaker:
+            knobs.append("breaker")
+        if not edge.required:
+            knobs.append("optional")
+        chain = " -> ".join(edge.elements) or "(no elements)"
+        print(f"  edge {edge.name}: {chain}"
+              + (f"  [{', '.join(knobs)}]" if knobs else ""))
+        if placement is not None:
+            for segment in placement.edge_plans[edge.key].segments:
+                print(f"    [{segment.platform.value}@{segment.machine}] "
+                      + ", ".join(segment.elements))
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    for diagnostic in diagnostics:
+        print(diagnostic.format_text())
+    if diagnostics or errors:
+        print(f"{len(errors)} error(s), {len(diagnostics)} lint "
+              f"finding(s) (fail threshold: {threshold.value})")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -654,6 +751,44 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument("--duration", type=float, default=0.1)
     overload.add_argument("--seed", type=int, default=1)
     overload.set_defaults(func=cmd_overload)
+
+    graph = sub.add_parser(
+        "graph",
+        help="load/validate a service-graph topology; show edges, "
+        "chains, and the solved cross-service placement",
+    )
+    graph.add_argument(
+        "spec", nargs="?",
+        help="topology spec JSON (see docs/graphs.md); omit to use "
+        "a built-in demo graph",
+    )
+    graph.add_argument(
+        "--demo", choices=["bookinfo", "hotel-mesh"],
+        default="bookinfo",
+        help="built-in graph to use when no spec is given",
+    )
+    graph.add_argument(
+        "--strategy",
+        choices=["software", "inapp", "offload", "scaleout"],
+        default="software",
+    )
+    graph.add_argument(
+        "--machines", type=int, default=4,
+        help="size of the machine pool for the placement solve",
+    )
+    graph.add_argument(
+        "--no-place", action="store_true",
+        help="validate and lint only; skip the placement solve",
+    )
+    graph.add_argument(
+        "--fail-on", choices=["error", "warning", "hint"],
+        default="error",
+        help="exit nonzero when any lint finding is at least this severe "
+        "(chain errors always fail)",
+    )
+    graph.add_argument("--format", choices=["text", "json"], default="text")
+    add_fields(graph)
+    graph.set_defaults(func=cmd_graph)
     return parser
 
 

@@ -372,8 +372,12 @@ class PlacementSolver:
                         replicas=replicas,
                     )
                 )
-        client_transport = self._transport_mode("client-host", segments)
-        server_transport = self._transport_mode("server-host", segments)
+        client_transport = self._transport_mode(
+            cluster.client_machine, segments
+        )
+        server_transport = self._transport_mode(
+            cluster.server_machine, segments
+        )
         return PlacementPlan(
             segments=segments,
             client_transport=client_transport,

@@ -89,6 +89,11 @@ class PlacementError(AdnError):
     available processors."""
 
 
+class GraphError(AdnError):
+    """A service-graph specification is invalid (unknown endpoint,
+    cycle, duplicate edge, malformed topology file, ...)."""
+
+
 class StateError(AdnError):
     """Invalid state-table operation (schema mismatch, bad merge/split,
     migrating a table that is not keyed, ...)."""

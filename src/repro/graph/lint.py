@@ -1,0 +1,81 @@
+"""Topology-level lint for :class:`~repro.graph.model.ServiceGraph`.
+
+The DSL-side rule (``ADN405`` in :mod:`repro.lint.rules.graph`) reads
+deadline custody off app chains; this module applies the same rule to a
+graph spec directly, where the facts are first-class fields instead of
+filter meta: an edge is deadline-*sensitive* when it retries
+(``max_attempts > 1``) or runs admission control, and an edge
+*establishes* a budget when ``deadline_budget_ms`` is set. Findings are
+ordinary :class:`~repro.lint.diagnostics.Diagnostic` objects so the CLI
+renders them exactly like file lints.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lint.diagnostics import Diagnostic, Severity
+from .model import EdgeSpec, ServiceGraph
+
+
+def _sensitive(edge: EdgeSpec) -> List[str]:
+    reasons = []
+    if edge.max_attempts > 1:
+        reasons.append(f"retries (max_attempts={edge.max_attempts})")
+    if edge.admission:
+        reasons.append("admission control")
+    return reasons
+
+
+def check_deadline_propagation(
+    graph: ServiceGraph, path: str = "<graph>"
+) -> List[Diagnostic]:
+    """ADN405 over a graph spec: every deadline-sensitive edge must be
+    reachable under a budget — either every upstream edge into its
+    source sets ``deadline_budget_ms`` (the runtime then derives the
+    child budget from the parent's remainder), or, for entry edges with
+    no upstream, the edge itself must set one."""
+    out: List[Diagnostic] = []
+    for edge in graph.edges:
+        reasons = _sensitive(edge)
+        if not reasons:
+            continue
+        upstream = graph.incoming(edge.src)
+        if not upstream:
+            if edge.deadline_budget_ms is None:
+                out.append(
+                    Diagnostic(
+                        code="ADN405",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"entry edge {edge.name} uses "
+                            f"{' and '.join(reasons)} but sets no "
+                            "deadline_budget_ms — nothing bounds the "
+                            "work its elements act on"
+                        ),
+                        path=path,
+                        element=edge.name,
+                        fix="set deadline_budget_ms on the edge",
+                    )
+                )
+            continue
+        for parent in upstream:
+            if parent.deadline_budget_ms is not None:
+                continue
+            out.append(
+                Diagnostic(
+                    code="ADN405",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"edge {edge.name} uses {' and '.join(reasons)} "
+                        f"but upstream edge {parent.name} propagates no "
+                        "deadline budget"
+                    ),
+                    path=path,
+                    element=edge.name,
+                    fix=f"set deadline_budget_ms on {parent.name} so "
+                    "the remaining budget reaches the downstream "
+                    "elements",
+                )
+            )
+    return out

@@ -64,6 +64,7 @@ def _load_builtin_rules() -> None:
     from .rules import (  # noqa: F401
         cross_element,
         dead,
+        graph,
         overload,
         placement,
         state_race,

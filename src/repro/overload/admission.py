@@ -24,14 +24,26 @@ Both mechanisms respect **priority**: requests whose ``priority`` field
 is at or above ``priority_threshold`` bypass probabilistic shedding and
 only fall to CoDel when the delay exceeds twice the target — sheds
 prefer low-priority traffic.
+
+For multi-service graphs (repro.graph) the probabilistic component can
+be made **fate-coherent**: with ``hash_fields`` set, the shed draw is a
+deterministic hash of those request fields instead of an RNG sample, so
+every controller in the mesh makes the *same* admit/shed decision for
+all sub-RPCs of one end-to-end request (they share the hashed fields
+through fan-out). Without this, independent per-edge draws compound —
+a request admitted at two of three parallel edges and shed at the third
+wastes the first two — which is why production meshes key shedding on
+request identity (WeChat's DAGOR admits by user-id bucket for exactly
+this reason).
 """
 
 from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # annotation-only: keeps repro.overload import-light
     # (runtime.mrpc imports this package, and repro.sim's package init
@@ -67,6 +79,12 @@ class AdmissionConfig:
     #: to ~1.0 whenever anything is in service (one busy microsecond is
     #: "100% utilized"), which would shed spuriously at low load
     util_window_ms: float = 5.0
+    #: fate-coherent shedding: when set, the probabilistic draw is a
+    #: deterministic hash of these request fields (salted by ``seed``),
+    #: so every controller sharing the config sheds the *same* requests
+    #: — sub-RPCs of one logical request live or die together instead of
+    #: compounding independent per-edge shed probabilities
+    hash_fields: Tuple[str, ...] = ()
     seed: int = 0
 
 
@@ -159,7 +177,7 @@ class AdmissionController:
         reason = ""
         if self._codel_wants_shed(sojourn, high_priority):
             reason = "codel"
-        elif not high_priority and self._utilization_wants_shed():
+        elif not high_priority and self._utilization_wants_shed(rpc):
             reason = "utilization"
         if reason:
             self.sheds += 1
@@ -214,7 +232,7 @@ class AdmissionController:
 
     # -- utilization shedding ----------------------------------------------
 
-    def _utilization_wants_shed(self) -> bool:
+    def _utilization_wants_shed(self, rpc: dict) -> bool:
         threshold = self.config.util_threshold
         if self.engaged:
             utilization = max(self.utilization, 1.0)
@@ -225,7 +243,20 @@ class AdmissionController:
         span = max(1e-9, 1.0 - threshold)
         fraction = min(1.0, (utilization - threshold) / span)
         probability = fraction * self.config.max_shed_probability
-        return self._rng.random() < probability
+        return self._shed_draw(rpc) < probability
+
+    def _shed_draw(self, rpc: dict) -> float:
+        """The uniform sample compared against the shed probability.
+        Fate-coherent when ``hash_fields`` is set and the request
+        carries any of them (crc32 — stable across processes, unlike
+        builtin ``hash``); the seeded RNG otherwise."""
+        fields = self.config.hash_fields
+        if fields:
+            values = tuple(rpc.get(name) for name in fields)
+            if any(value is not None for value in values):
+                key = repr((self.config.seed,) + values).encode()
+                return zlib.crc32(key) / 0x100000000
+        return self._rng.random()
 
 
 def admission_from_meta(

@@ -254,6 +254,16 @@ def wrap_retry_policy(
             if policy.deadline_budget_ms is not None
             else None
         )
+        # a caller-supplied absolute deadline (a graph parent's remaining
+        # budget, see repro.graph) strictly bounds this hop: the child's
+        # own budget can only tighten it, never extend it
+        inherited = fields.get("deadline_at")
+        if inherited is not None:
+            deadline = (
+                float(inherited)
+                if deadline is None
+                else min(deadline, float(inherited))
+            )
         if propagate_deadline and deadline is not None:
             fields["deadline_at"] = deadline
         attempt = 0

@@ -59,14 +59,43 @@ from .processor import (
     ProcessorRuntime,
 )
 
+#: key a server handler may put in its overrides dict to abort the RPC
+#: at the server boundary instead of answering it (the value becomes the
+#: ``aborted_by`` reason) — how a graph service fails upward when a
+#: required downstream call failed
+ABORT_KEY = "__abort__"
 
-def default_plan(chain: CompiledChain) -> PlacementPlan:
+
+def _handler_arity(handler) -> int:
+    """Positional parameters a server handler accepts (1 = legacy
+    request-only, 2 = request + propagated absolute deadline)."""
+    import inspect
+
+    try:
+        parameters = inspect.signature(handler).parameters.values()
+    except (TypeError, ValueError):  # builtins, odd callables
+        return 1
+    count = 0
+    for parameter in parameters:
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            count += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return 2
+    return count
+
+
+def default_plan(
+    chain: CompiledChain, machine: str = "client-host"
+) -> PlacementPlan:
     """The prototype's placement: every element in the client-side mRPC
     engine (the paper's §6 setup compiles the chain into engine modules
     on the sender)."""
     segment = PlacementSegment(
         platform=Platform.MRPC,
-        machine="client-host",
+        machine=machine,
         elements=chain.element_order,
         stages=chain.ir.stages,
     )
@@ -102,13 +131,31 @@ class AdnMrpcStack:
         admission: Optional[AdmissionConfig] = None,
         retry_budget: Optional[RetryBudgetConfig] = None,
         circuit_breaker: Optional[CircuitBreakerPolicy] = None,
+        client_machine: str = "client-host",
+        server_machine: str = "server-host",
+        client_thread: str = "client-app",
+        server_thread: str = "server-app",
+        l2_tag: str = "",
+        propagate_deadline: bool = False,
     ):
         self.sim = sim
         self.cluster = cluster
         self.chain = chain
         self.schema = schema
         self.registry = registry
-        self.plan = plan or default_plan(chain)
+        #: which hosts this hop's two endpoints live on. The historical
+        #: single-hop stack always spanned client-host -> server-host;
+        #: a service graph instantiates one stack per RPC edge, each on
+        #: the machines its placement assigned (repro.graph).
+        self.client_machine = client_machine
+        self.server_machine = server_machine
+        self.client_thread = client_thread
+        self.server_thread = server_thread
+        #: distinguishes this stack's L2 endpoints when several stacks
+        #: share a service name on one cluster (fan-out edges out of one
+        #: service each need their own inbox)
+        self.l2_tag = l2_tag
+        self.plan = plan or default_plan(chain, machine=client_machine)
         self.costs = cluster.costs
         self.handcoded = handcoded
         self.client_service = client_service
@@ -130,12 +177,18 @@ class AdnMrpcStack:
         self._last_seq_seen = -1
         self.out_of_order_detected = 0
         registry.bind_clock(lambda: sim.now)
-
-        self.client_app: Resource = cluster.machine("client-host").thread(
-            "client-app"
+        #: does the handler want the propagated absolute deadline too?
+        #: (graph service handlers derive child-RPC budgets from it)
+        self._handler_takes_deadline = (
+            server_handler is not None
+            and _handler_arity(server_handler) >= 2
         )
-        self.server_app: Resource = cluster.machine("server-host").thread(
-            "server-app", capacity=max(1, server_replicas)
+
+        self.client_app: Resource = cluster.machine(client_machine).thread(
+            self.client_thread
+        )
+        self.server_app: Resource = cluster.machine(server_machine).thread(
+            self.server_thread, capacity=max(1, server_replicas)
         )
         self.processors: List[ProcessorRuntime] = [
             ProcessorRuntime(sim, cluster, segment, chain, registry, handcoded)
@@ -147,14 +200,15 @@ class AdnMrpcStack:
         #: deadline budget (the budget IS the deadline being propagated).
         self._queue_limit = queue_limit
         self._admission_config = admission
-        self._propagate_deadline = retry_policy is not None and (
-            getattr(retry_policy, "deadline_budget_ms", None) is not None
+        self._propagate_deadline = propagate_deadline or (
+            retry_policy is not None
+            and getattr(retry_policy, "deadline_budget_ms", None) is not None
         )
         self._configure_overload(self.processors)
         self._transport: Dict[str, Resource] = {}
         for side, machine_name, mode in (
-            ("client", "client-host", self.plan.client_transport),
-            ("server", "server-host", self.plan.server_transport),
+            ("client", client_machine, self.plan.client_transport),
+            ("server", server_machine, self.plan.server_transport),
         ):
             machine = cluster.machine(machine_name)
             if mode == "engine":
@@ -265,7 +319,7 @@ class AdnMrpcStack:
         boundary = -1
         for index, name in enumerate(self.chain.element_order):
             location = self.plan.element_locations().get(name)
-            if location and location[1] == "client-host":
+            if location and location[1] == self.client_machine:
                 boundary = index
         plans = plan_hop_headers(
             self.chain.ir, self.schema, [boundary],
@@ -288,9 +342,10 @@ class AdnMrpcStack:
         runner consumes them after paying the wire latency."""
         self._l2_inbox: Dict[str, List[bytes]] = {"client": [], "server": []}
         l2 = self.cluster.l2
+        tag = f"#{self.l2_tag}" if self.l2_tag else ""
         self._l2_names = {
-            "client": f"{self.client_service}.0/engine",
-            "server": f"{self.server_service}/engine",
+            "client": f"{self.client_service}.0/engine{tag}",
+            "server": f"{self.server_service}/engine{tag}",
         }
         for side, name in self._l2_names.items():
             if l2.resolve(name) is None:
@@ -308,7 +363,9 @@ class AdnMrpcStack:
         side; returns the bytes as delivered there, or None when the
         frame died en route (partition, loss, or a crashed far host)."""
         to_side = "server" if from_side == "client" else "client"
-        to_machine = f"{to_side}-host"
+        to_machine = (
+            self.server_machine if to_side == "server" else self.client_machine
+        )
         if not self.cluster.machine_up(to_machine):
             return None  # blackholed: nothing is listening
         frame = self.cluster.l2.send(
@@ -457,7 +514,7 @@ class AdnMrpcStack:
         dropping_processor: Optional[ProcessorRuntime] = None
         dropped_after_entry = False
         for processor in self.processors:
-            if processor.segment.machine != "client-host" and (
+            if processor.segment.machine != self.client_machine and (
                 not crossed_wire
             ):
                 # leave the client host
@@ -512,8 +569,8 @@ class AdnMrpcStack:
                 crossed_wire = True
                 if self.tracing:
                     trace.append(("wire:forward", hop_started, self.sim.now))
-            if not self.cluster.machine_up("server-host"):
-                yield from self._lost("crash:server-host")
+            if not self.cluster.machine_up(self.server_machine):
+                yield from self._lost(f"crash:{self.server_machine}")
             # server engine receives and hands to the app
             yield self.sim.timeout(self.costs.mrpc_rx_wakeup_extra_us * US)
             cpu, extra, _wire = self._transport_cost("server", current)
@@ -542,8 +599,23 @@ class AdnMrpcStack:
                 if executions > 1:
                     self.duplicate_server_executions += 1
                 if self.server_handler is not None:
-                    overrides = yield from self.server_handler(current)
-                    response = make_response(current, **(overrides or {}))
+                    if self._handler_takes_deadline:
+                        overrides = yield from self.server_handler(
+                            current, deadline_at
+                        )
+                    else:
+                        overrides = yield from self.server_handler(current)
+                    overrides = dict(overrides or {})
+                    # a service handler may fail the whole RPC (e.g. a
+                    # required downstream call aborted): it turns into
+                    # an abort at the server boundary, so the caller's
+                    # retry/breaker machinery sees a real failure
+                    abort_reason = overrides.pop(ABORT_KEY, None)
+                    if abort_reason is not None:
+                        dropped_by = str(abort_reason)
+                        response = make_abort(current, dropped_by)
+                    else:
+                        response = make_response(current, **overrides)
                 else:
                     response = make_response(current)
         else:
@@ -569,7 +641,7 @@ class AdnMrpcStack:
         for processor in reverse_processors:
             if (
                 returned_wire
-                and processor.segment.machine == "client-host"
+                and processor.segment.machine == self.client_machine
             ):
                 cpu, extra, wire = self._transport_cost("server", response)
                 yield from self._use(self._transport["server"], cpu)
@@ -692,8 +764,8 @@ class AdnMrpcStack:
             for segment in new_plan.segments
         ]
         for side, machine_name, mode in (
-            ("client", "client-host", new_plan.client_transport),
-            ("server", "server-host", new_plan.server_transport),
+            ("client", self.client_machine, new_plan.client_transport),
+            ("server", self.server_machine, new_plan.server_transport),
         ):
             machine = self.cluster.machine(machine_name)
             if mode == "engine":

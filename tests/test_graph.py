@@ -1,0 +1,275 @@
+"""repro.graph model, placement, topology lint, and the ``graph`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import GraphError
+from repro.graph import (
+    GraphBuilder,
+    MESH_SCHEMA,
+    MachineSpec,
+    ServiceGraph,
+    assign_service_machines,
+    bookinfo_graph,
+    check_deadline_propagation,
+    hotel_mesh_graph,
+    mesh_program,
+    solve_graph_placement,
+)
+from repro.graph.model import EdgeSpec, ServiceSpec
+from repro.lint import Severity, lint_source
+from repro.lint.registry import all_rules
+
+
+class TestModel:
+    def test_builder_builds_bookinfo(self):
+        graph = bookinfo_graph()
+        assert set(graph.services) == {
+            "productpage", "details", "reviews", "ratings"
+        }
+        assert graph.services["reviews"].replicas == 2
+        assert len(graph.edges) == 3
+        assert graph.edge("reviews", "ratings").admission
+
+    def test_builder_auto_declares_endpoints(self):
+        graph = GraphBuilder("g").edge("a", "b").build()
+        assert set(graph.services) == {"a", "b"}
+
+    def test_topological_order_is_callers_first(self):
+        graph = bookinfo_graph()
+        order = graph.topological_order()
+        assert order.index("productpage") < order.index("reviews")
+        assert order.index("reviews") < order.index("ratings")
+
+    def test_entry_leaves_depth(self):
+        graph = bookinfo_graph()
+        assert graph.entry_services() == ["productpage"]
+        assert set(graph.leaf_services()) == {"details", "ratings"}
+        assert graph.depth() == 2
+        assert hotel_mesh_graph().depth() == 3
+
+    def test_cycle_raises(self):
+        with pytest.raises(GraphError, match="cycle"):
+            (GraphBuilder("loop")
+             .edge("a", "b").edge("b", "c").edge("c", "a").build())
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(GraphError, match="unknown service"):
+            ServiceGraph(
+                name="bad",
+                services={"a": ServiceSpec(name="a")},
+                edges=[EdgeSpec(src="a", dst="ghost")],
+            )
+
+    def test_self_edge_and_duplicate_raise(self):
+        with pytest.raises(GraphError, match="self-edge"):
+            GraphBuilder("g").edge("a", "a").build()
+        with pytest.raises(GraphError, match="duplicate edge"):
+            GraphBuilder("g").edge("a", "b").edge("a", "b").build()
+
+    def test_with_edge_overrides_one_edge(self):
+        graph = bookinfo_graph()
+        tweaked = graph.with_edge("reviews", "ratings", max_attempts=3)
+        assert tweaked.edge("reviews", "ratings").max_attempts == 3
+        assert graph.edge("reviews", "ratings").max_attempts == 1
+
+    def test_check_chains_flags_unknown_elements(self):
+        graph = GraphBuilder("g").edge("a", "b", elements=("NoSuch",)).build()
+        errors = graph.check_chains(mesh_program())
+        assert errors and "NoSuch" in errors[0]
+        clean = GraphBuilder("g").edge("a", "b", elements=("Logging",)).build()
+        assert clean.check_chains(mesh_program()) == []
+
+    def test_json_round_trip(self):
+        graph = hotel_mesh_graph()
+        restored = ServiceGraph.from_json(graph.to_json())
+        assert restored.to_dict() == graph.to_dict()
+        assert restored.edge("gateway", "search").max_attempts == 2
+        assert not restored.edge("gateway", "recommendation").required
+
+    def test_load_spec_file(self, tmp_path):
+        path = tmp_path / "topo.json"
+        path.write_text(bookinfo_graph().to_json())
+        graph = ServiceGraph.load(str(path))
+        assert graph.name == "bookinfo"
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(GraphError, match="invalid topology JSON"):
+            ServiceGraph.from_json("{nope")
+        with pytest.raises(GraphError, match="needs a string 'name'"):
+            ServiceGraph.from_dict({})
+        with pytest.raises(GraphError, match="unknown key"):
+            ServiceGraph.from_dict({
+                "name": "g",
+                "services": ["a", "b"],
+                "edges": [{"src": "a", "dst": "b", "retries": 2}],
+            })
+        with pytest.raises(GraphError, match="'src' and 'dst'"):
+            ServiceGraph.from_dict({
+                "name": "g", "services": ["a"], "edges": [{"src": "a"}],
+            })
+
+
+class TestPlacement:
+    def test_pins_win(self):
+        graph = (GraphBuilder("g")
+                 .service("a", machine="special-host")
+                 .edge("a", "b").build())
+        assignment = assign_service_machines(
+            graph, [MachineSpec(name="node-0")]
+        )
+        assert assignment["a"] == "special-host"
+        assert assignment["b"] == "node-0"
+
+    def test_services_spread_across_pool(self):
+        graph = (GraphBuilder("g")
+                 .edge("a", "b").edge("a", "c").edge("a", "d").build())
+        pool = [MachineSpec(name=f"m{i}", cores=8) for i in range(4)]
+        assignment = assign_service_machines(graph, pool)
+        # least-loaded-first: four services land on four machines
+        assert len(set(assignment.values())) == 4
+
+    def test_capacity_overflow_raises(self):
+        graph = (GraphBuilder("g")
+                 .service("a", replicas=8)
+                 .edge("a", "b").build())
+        with pytest.raises(GraphError, match="free cores"):
+            assign_service_machines(graph, [MachineSpec(name="m0", cores=4)])
+
+    def test_solve_places_every_edge_on_its_hosts(self):
+        graph = bookinfo_graph()
+        placement = solve_graph_placement(graph, mesh_program(), MESH_SCHEMA)
+        assert set(placement.edge_plans) == {e.key for e in graph.edges}
+        for edge in graph.edges:
+            plan = placement.edge_plans[edge.key]
+            hosts = {placement.machine_of(edge.src),
+                     placement.machine_of(edge.dst)}
+            assert {s.machine for s in plan.segments} <= hosts
+            # software strategy: elements run on the caller's engine
+            assert plan.segments[0].machine == placement.machine_of(edge.src)
+
+    def test_placement_to_dict_names_edges(self):
+        placement = solve_graph_placement(
+            bookinfo_graph(), mesh_program(), MESH_SCHEMA
+        )
+        out = placement.to_dict()
+        assert "productpage->reviews" in out["edges"]
+        assert out["service_machines"]["productpage"]
+
+
+class TestTopologyLint:
+    def test_canned_graphs_are_clean(self):
+        assert check_deadline_propagation(bookinfo_graph()) == []
+        assert check_deadline_propagation(hotel_mesh_graph()) == []
+
+    def test_sensitive_edge_without_upstream_budget_fires(self):
+        graph = (GraphBuilder("g")
+                 .edge("a", "b")
+                 .edge("b", "c", max_attempts=2, admission=True)
+                 .build())
+        (finding,) = check_deadline_propagation(graph, path="topo.json")
+        assert finding.code == "ADN405"
+        assert finding.severity is Severity.WARNING
+        assert "a->b" in finding.message
+        assert finding.path == "topo.json"
+
+    def test_entry_edge_needs_its_own_budget(self):
+        graph = GraphBuilder("g").edge("a", "b", max_attempts=2).build()
+        (finding,) = check_deadline_propagation(graph)
+        assert "entry edge a->b" in finding.message
+        budgeted = graph.with_edge("a", "b", deadline_budget_ms=10.0)
+        assert check_deadline_propagation(budgeted) == []
+
+
+MESH_APP = """
+app mesh {{
+    service frontend;
+    service backend;
+    service storage;
+    chain frontend -> backend {{ {upstream} }}
+    chain backend -> storage {{ {downstream} }}
+}}
+"""
+
+
+class TestAdn405DslRule:
+    def test_registered(self):
+        assert "ADN405" in {r.code for r in all_rules()}
+
+    def _lint(self, upstream, downstream):
+        source = MESH_APP.format(upstream=upstream, downstream=downstream)
+        result = lint_source(source)
+        return [d for d in result.diagnostics if d.code == "ADN405"]
+
+    def test_fires_for_retry_below_unbudgeted_edge(self):
+        (finding,) = self._lint("Logging", "Retry, Logging")
+        assert "frontend -> backend" in finding.message
+        assert "deadline" in finding.fix
+
+    def test_fires_for_admission_below_unbudgeted_edge(self):
+        (finding,) = self._lint("Logging", "AdmissionControl")
+        assert "'AdmissionControl'" in finding.message
+
+    def test_clean_when_upstream_carries_budget(self):
+        # the stdlib Retry filter sets deadline_budget_ms
+        assert self._lint("Retry", "AdmissionControl") == []
+
+    def test_single_chain_apps_never_fire(self):
+        source = """
+app one {
+    service a;
+    service b;
+    chain a -> b { Retry, AdmissionControl }
+}
+"""
+        codes = [d.code for d in lint_source(source).diagnostics]
+        assert "ADN405" not in codes
+
+
+class TestGraphCli:
+    def test_demo_text_output(self, capsys):
+        assert main(["graph"]) == 0
+        out = capsys.readouterr().out
+        assert "graph bookinfo" in out
+        assert "productpage->reviews" in out
+        assert "@node-" in out  # solved placement shown
+
+    def test_spec_loading_and_json_parity(self, tmp_path, capsys):
+        path = tmp_path / "topo.json"
+        path.write_text(hotel_mesh_graph().to_json())
+        assert main(["graph", str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert payload["graph"]["name"] == "hotel-mesh"
+        assert payload["entry"] == ["gateway"]
+        assert payload["depth"] == 3
+        assert payload["lint"] == []
+        assert "gateway->search" in payload["placement"]["edges"]
+
+    def test_unknown_element_fails(self, tmp_path, capsys):
+        graph = GraphBuilder("g").edge("a", "b", elements=("Ghost",)).build()
+        path = tmp_path / "topo.json"
+        path.write_text(graph.to_json())
+        assert main(["graph", str(path)]) == 1
+        assert "Ghost" in capsys.readouterr().err
+
+    def test_lint_findings_respect_fail_on(self, tmp_path, capsys):
+        graph = (GraphBuilder("g")
+                 .edge("a", "b")
+                 .edge("b", "c", max_attempts=2)
+                 .build())
+        path = tmp_path / "topo.json"
+        path.write_text(graph.to_json())
+        assert main(["graph", str(path), "--no-place"]) == 0
+        assert "ADN405" in capsys.readouterr().out
+        assert main([
+            "graph", str(path), "--no-place", "--fail-on", "warning",
+        ]) == 1
+
+    def test_invalid_spec_is_a_cli_error(self, tmp_path, capsys):
+        path = tmp_path / "topo.json"
+        path.write_text('{"name": "g", "edges": [{"src": "a"}]}')
+        assert main(["graph", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
