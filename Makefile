@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench faults overload graph examples check-all lint typecheck loc
+.PHONY: install test bench faults overload graph graph-check examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -60,6 +60,23 @@ graph:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_graph.py \
 	    tests/test_graph_runtime.py -q
 	PYTHONPATH=src $(PYTHON) examples/bookinfo.py
+
+graph-check:
+	@# interprocedural analyzer (ADN600-ADN606): the shipped bookinfo
+	@# spec and the hotel-mesh demo must be clean at warning level; the
+	@# intentionally broken retry-storm spec must FAIL; plus the
+	@# analyzer unit suite and the analyzer-overhead microbenchmark
+	PYTHONPATH=src $(PYTHON) -m repro graph examples/bookinfo.graph.json \
+	    --check --no-place --fail-on warning
+	PYTHONPATH=src $(PYTHON) -m repro graph --demo hotel-mesh --check \
+	    --no-place --fail-on warning --format json >/dev/null
+	@! PYTHONPATH=src $(PYTHON) -m repro graph \
+	    examples/retry_storm.graph.json --check --no-place >/dev/null \
+	    || (echo 'retry_storm.graph.json should have failed --check' \
+	        && exit 1)
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_graph_analysis.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/test_graph_analysis_overhead.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py

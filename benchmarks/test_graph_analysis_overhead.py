@@ -1,0 +1,98 @@
+"""Analyzer overhead: interprocedural analysis cost vs graph size.
+
+``repro graph --check`` runs in CI and at the developer's keystroke, so
+the whole ADN600-606 suite — lowering, liveness, amplification, abstract
+environment propagation across every boundary — has to stay interactive
+on meshes far larger than the demos. This pins the scaling shape at
+10/50/100 edges (the hotel mesh is 12).
+"""
+
+from repro.analysis.graph import analyze_graph
+from repro.graph import MESH_SCHEMA, GraphBuilder, mesh_program
+
+from bench_harness import bench_assert, print_table
+
+EDGE_COUNTS = (10, 50, 100)
+#: per-size wall budget (ms) — interactive even at 100 edges
+BUDGET_MS = {10: 150.0, 50: 600.0, 100: 1200.0}
+#: fan-out per layer: every service calls WIDTH children
+WIDTH = 4
+
+
+def synthetic_mesh(edge_count: int):
+    """A layered DAG with exactly ``edge_count`` edges, WIDTH-wide
+    fan-out, alternating chains, retries and admission — shaped like a
+    real mesh so every rule has work to do."""
+    builder = GraphBuilder(f"mesh-{edge_count}")
+    frontier = ["s0"]
+    serial = 1
+    edges = 0
+    while edges < edge_count:
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(WIDTH):
+                if edges >= edge_count:
+                    break
+                child = f"s{serial}"
+                serial += 1
+                builder.edge(
+                    parent,
+                    child,
+                    elements=(
+                        ("Logging", "LbKeyHash")
+                        if edges % 2 == 0
+                        else ("Logging",)
+                    ),
+                    deadline_budget_ms=100.0,
+                    max_attempts=2 if edges % 3 == 0 else 1,
+                    per_attempt_timeout_ms=10.0,
+                    breaker=True,
+                    admission=edges % 4 == 0,
+                    hash_fields=(
+                        ("username", "obj_id") if edges % 4 == 0 else ()
+                    ),
+                )
+                edges += 1
+                next_frontier.append(child)
+        frontier = next_frontier or frontier
+    return builder.build()
+
+
+def test_analysis_cost_scales_interactively(benchmark):
+    program = mesh_program()
+    timings = {}
+
+    def run():
+        for count in EDGE_COUNTS:
+            graph = synthetic_mesh(count)
+            assert len(graph.edges) == count
+            analysis = analyze_graph(graph, program, MESH_SCHEMA)
+            timings[count] = analysis.analysis_ms
+            assert analysis.analysis_ms < BUDGET_MS[count], (
+                f"{count} edges took {analysis.analysis_ms:.1f} ms "
+                f"(budget {BUDGET_MS[count]:g} ms)"
+            )
+        print_table(
+            "interprocedural analysis wall time by mesh size",
+            rows=["analysis_ms"],
+            columns=[f"{c} edges" for c in EDGE_COUNTS],
+            cell=lambda row, col: timings[int(col.split()[0])],
+            unit="ms",
+        )
+
+    bench_assert(benchmark, run)
+
+
+def test_analysis_is_deterministic():
+    """Same graph, same diagnostics, same bounds — the analyzer must be
+    a pure function of its inputs (no iteration-order leakage)."""
+    program = mesh_program()
+    graph = synthetic_mesh(50)
+    a = analyze_graph(graph, program, MESH_SCHEMA)
+    b = analyze_graph(graph, program, MESH_SCHEMA)
+    assert [d.message for d in a.diagnostics] == [
+        d.message for d in b.diagnostics
+    ]
+    assert a.worst_amplification == b.worst_amplification
+    assert a.worst_path == b.worst_path
+    assert a.live == b.live

@@ -183,3 +183,126 @@ def test_runs_are_reproducible():
     assert a.workload.metrics.issued == b.workload.metrics.issued
     assert a.goodput_rps == b.goodput_rps
     assert a.runtime.mesh_stats() == b.runtime.mesh_stats()
+
+
+# -- static analysis vs measured runtime (ISSUE 7) --------------------------
+
+
+def test_static_amplification_bound_holds_at_runtime(mesh, benchmark):
+    """ADN601's static bound (product of max_attempts along the worst
+    root path) must upper-bound the *measured* attempts-per-logical-call
+    on every edge, in every condition — including the crash run where
+    retries actually fire. The static analysis is sound or it is
+    useless."""
+    from repro.analysis.graph import analyze_graph
+    from repro.graph import MESH_SCHEMA, mesh_program
+
+    analysis = analyze_graph(hotel_mesh_graph(), mesh_program(), MESH_SCHEMA)
+    assert analysis.worst_amplification == 4.0
+    assert analysis.worst_path == ("gateway", "search", "geo")
+
+    def check():
+        worst_measured = 0.0
+        for name, result in mesh.items():
+            for (src, dst), stack in result.runtime.stacks.items():
+                stats = stack.retry_stats
+                if stats is None or stats.logical_calls == 0:
+                    continue
+                measured = stats.amplification()
+                bound = analysis.amplification_bound(src, dst)
+                assert measured <= bound + 1e-9, (
+                    f"{name}: edge {src}->{dst} measured {measured:.3f}x "
+                    f"attempts but the static bound is {bound:g}x"
+                )
+                worst_measured = max(worst_measured, measured)
+        assert worst_measured <= analysis.worst_amplification
+        print(
+            f"worst measured amplification {worst_measured:.3f}x "
+            f"<= static bound {analysis.worst_amplification:g}x"
+        )
+
+    bench_assert(benchmark, check)
+
+
+def _replay_bookinfo(edge_app_reads=None, calls=16):
+    """Drive a deterministic request sequence through bookinfo and
+    return (runtime, outcomes)."""
+    from repro.graph import MESH_SCHEMA, bookinfo_graph, mesh_program
+    from repro.graph.placement import solve_graph_placement
+    from repro.graph.runtime import GraphRuntime, build_graph_cluster
+    from repro.runtime.message import reset_rpc_ids
+    from repro.sim.costmodel import CostModel
+    from repro.sim.engine import Simulator
+
+    reset_rpc_ids()
+    sim = Simulator()
+    graph = bookinfo_graph()
+    placement = solve_graph_placement(graph, mesh_program(), MESH_SCHEMA)
+    cluster = build_graph_cluster(
+        sim, placement, costs=CostModel(element_dispatch_us=2.0)
+    )
+    runtime = GraphRuntime(
+        sim, cluster, placement, MESH_SCHEMA,
+        edge_app_reads=edge_app_reads,
+    )
+    outcomes = []
+
+    def one(i):
+        outcome = yield sim.process(runtime.entry_call(
+            payload=b"x" * 16, username=f"u{i}", obj_id=i, priority=i % 2,
+        ))
+        outcomes.append(outcome)
+
+    for i in range(calls):
+        sim.process(one(i))
+    sim.run(until=sim.now + 5.0)
+    return runtime, outcomes
+
+
+def test_graph_dead_fields_shrinks_wires_bit_identically(benchmark):
+    """Mesh-wide dead-field elimination on bookinfo: the proven-live
+    sets shrink at least one edge's wire header, every IR rewrite is
+    translation-validated, and an end-to-end replay with the shrunken
+    headers is bit-identical to the baseline."""
+    from repro.analysis.graph import eliminate_dead_fields_graph
+    from repro.graph import MESH_SCHEMA, bookinfo_graph, mesh_program
+
+    plan = eliminate_dead_fields_graph(
+        bookinfo_graph(), mesh_program(), MESH_SCHEMA
+    )
+    assert len(plan.shrunk_edges()) >= 1
+    for change in plan.changes.values():
+        if change.verdict is not None:
+            assert change.verdict.ok is not False
+
+    def check():
+        base_rt, base = _replay_bookinfo()
+        slim_rt, slim = _replay_bookinfo(
+            edge_app_reads=plan.edge_app_reads()
+        )
+        assert len(base) == len(slim) == 16
+        for a, b in zip(base, slim):
+            assert a.aborted_by == b.aborted_by
+            assert a.request == b.request
+            assert a.response == b.response
+        base_hdr = base_rt.stack(
+            "productpage", "details"
+        ).hop_plan.layout.min_size_bytes()
+        slim_hdr = slim_rt.stack(
+            "productpage", "details"
+        ).hop_plan.layout.min_size_bytes()
+        assert slim_hdr < base_hdr
+        base_wire = sum(
+            s.wire_bytes_total for s in base_rt.stacks.values()
+        )
+        slim_wire = sum(
+            s.wire_bytes_total for s in slim_rt.stacks.values()
+        )
+        assert slim_wire < base_wire
+        print(
+            f"productpage->details header {base_hdr} -> {slim_hdr} B; "
+            f"total wire bytes {base_wire} -> {slim_wire} "
+            f"({plan.bytes_saved()} B/req planned across the mesh)"
+        )
+
+    bench_assert(benchmark, check)

@@ -33,4 +33,10 @@ __all__ = [
     "env_from_schema",
     "ValidationVerdict",
     "validate_rewrite",
+    # interprocedural (service-graph) layer — imported from .graph by
+    # consumers directly to keep this package importable without the
+    # graph/compiler layers:
+    #   analyze_graph, GraphAnalysis, GraphAnalysisOptions,
+    #   eliminate_dead_fields_graph, GraphFieldPlan, compute_mesh_liveness,
+    #   retry_amplification
 ]

@@ -863,14 +863,24 @@ def check_chain(
     elements: Sequence[ElementIR],
     schema: Optional[RpcSchema],
     registry: Optional[FunctionRegistry] = None,
+    env_in: Optional[Env] = None,
+    absent_in: FrozenSet[str] = frozenset(),
 ) -> ChainTypeReport:
     """Thread abstract environments through a whole chain, requests
     forward and responses in reverse, checking each element against what
-    actually reaches it."""
+    actually reaches it.
+
+    ``env_in``/``absent_in`` seed the request direction with an
+    interprocedural entry environment (what an upstream service graph
+    edge actually delivers) instead of the schema's pristine one — the
+    hook :mod:`repro.analysis.graph` uses to typecheck each edge against
+    what crosses the wire, not what the schema promises."""
     registry = registry or DEFAULT_REGISTRY
     findings: List[TypeFinding] = []
-    env: Optional[Env] = env_from_schema(schema)
-    absent: FrozenSet[str] = frozenset()
+    env: Optional[Env] = (
+        dict(env_in) if env_in is not None else env_from_schema(schema)
+    )
+    absent: FrozenSet[str] = frozenset(absent_in)
     for ir in elements:
         init_checker = _HandlerChecker(
             ir, "init", registry, schema, env or {}, frozenset()

@@ -68,6 +68,45 @@ def _load(path: str, schema: RpcSchema, include_stdlib: bool = True):
     return validate_program(program, schema=schema)
 
 
+def _fails(diagnostics, threshold) -> bool:
+    """The one exit-code rule every subcommand shares: nonzero exactly
+    when some diagnostic is at least ``--fail-on`` severe. ``lint``,
+    ``check`` and ``graph --check`` must agree for both ``--format``
+    modes, so they all route through this predicate."""
+    return any(
+        diagnostic.severity.rank >= threshold.rank
+        for diagnostic in diagnostics
+    )
+
+
+def _graph_spec_diagnostics(args, program, schema, spec: str):
+    """Diagnostics for a topology spec checked against ``program``:
+    ADN600 loading/resolution failures, ADN405 deadline custody, and —
+    when the spec loads and resolves — the full interprocedural ADN60x
+    analysis. Returns (diagnostics, failed)."""
+    from .analysis.graph import analyze_graph
+    from .graph.lint import (
+        check_chain_resolution,
+        check_deadline_propagation,
+        load_graph_spec,
+    )
+    from .lint import Severity
+
+    graph, diagnostics = load_graph_spec(spec)
+    if graph is not None:
+        resolution = check_chain_resolution(
+            graph, program, schema, path=spec
+        )
+        diagnostics = diagnostics + resolution
+        diagnostics += check_deadline_propagation(graph, path=spec)
+        if not resolution:
+            diagnostics += analyze_graph(
+                graph, program, schema, path=spec
+            ).diagnostics
+    threshold = Severity.from_name(args.fail_on)
+    return diagnostics, _fails(diagnostics, threshold)
+
+
 def _typecheck_diagnostics(args, schema):
     """Run the ADN5xx abstract-interpretation rules for ``check --types``
     over the file (and optionally the stdlib); returns (diagnostics,
@@ -97,11 +136,7 @@ def _typecheck_diagnostics(args, schema):
         if diagnostic.code.startswith("ADN5")
     ]
     threshold = Severity.from_name(args.fail_on)
-    failed = any(
-        diagnostic.severity.rank >= threshold.rank
-        for diagnostic in diagnostics
-    )
-    return diagnostics, failed
+    return diagnostics, _fails(diagnostics, threshold)
 
 
 def cmd_check(args) -> int:
@@ -126,21 +161,29 @@ def cmd_check(args) -> int:
     diagnostics, types_failed = (
         _typecheck_diagnostics(args, schema) if args.types else ([], False)
     )
+    graph_diags, graph_failed = (
+        _graph_spec_diagnostics(args, program, schema, args.graph)
+        if args.graph
+        else ([], False)
+    )
+    failed = types_failed or graph_failed
     if args.format == "json":
         payload = {
             "file": args.file,
-            "ok": not types_failed,
+            "ok": not failed,
             "elements": sorted(own.elements),
             "filters": sorted(own.filters),
             "apps": sorted(own.apps),
         }
         if args.types:
             payload["typecheck"] = [d.to_dict() for d in diagnostics]
+        if args.graph:
+            payload["graph"] = [d.to_dict() for d in graph_diags]
         print(json.dumps(payload, indent=2))
         # json and text must agree: nonzero whenever findings reach
         # --fail-on, zero otherwise
-        return 1 if types_failed else 0
-    print(f"{args.file}: OK" if not types_failed else f"{args.file}: FAIL")
+        return 1 if failed else 0
+    print(f"{args.file}: OK" if not failed else f"{args.file}: FAIL")
     print(
         f"  elements: {len(own.elements)}  filters: {len(own.filters)}  "
         f"apps: {len(own.apps)}"
@@ -150,6 +193,13 @@ def cmd_check(args) -> int:
             print(diagnostic.format_text())
         print(
             f"  typecheck: {len(diagnostics)} finding(s) "
+            f"(fail threshold: {args.fail_on})"
+        )
+    if args.graph:
+        for diagnostic in graph_diags:
+            print(diagnostic.format_text())
+        print(
+            f"  graph: {len(graph_diags)} finding(s) against {args.graph} "
             f"(fail threshold: {args.fail_on})"
         )
     if args.analyze:
@@ -173,7 +223,7 @@ def cmd_check(args) -> int:
                 f"writes={sorted(analysis.fields_written)} "
                 f"[{', '.join(flags) or 'pure'}]"
             )
-    return 1 if types_failed else 0
+    return 1 if failed else 0
 
 
 def cmd_lint(args) -> int:
@@ -513,25 +563,52 @@ def cmd_overload(args) -> int:
 
 
 def cmd_graph(args) -> int:
-    from .graph import check_deadline_propagation, solve_graph_placement
-    from .graph.model import ServiceGraph
+    from .graph import solve_graph_placement
+    from .graph.lint import (
+        check_chain_resolution,
+        check_deadline_propagation,
+        load_graph_spec,
+    )
     from .graph.placement import default_machine_pool
     from .graph.scenario import MESH_SCHEMA, bookinfo_graph, hotel_mesh_graph
     from .lint import Severity
 
     schema = _schema_from_args(args.field) if args.field else MESH_SCHEMA
+    threshold = Severity.from_name(args.fail_on)
     if args.spec:
         where = args.spec
-        graph = ServiceGraph.load(args.spec)
+        graph, spec_diags = load_graph_spec(args.spec)
     else:
         where = f"<demo:{args.demo}>"
         graph = (
             bookinfo_graph() if args.demo == "bookinfo"
             else hotel_mesh_graph()
         )
+        spec_diags = []
     program = load_stdlib(schema=schema)
-    errors = graph.check_chains(program, schema)
+    if graph is None:
+        # the spec never became a graph; report ADN600 and stop — same
+        # exit-code rule as every other path
+        failed = _fails(spec_diags, threshold)
+        if args.format == "json":
+            print(json.dumps({
+                "graph": None,
+                "ok": not failed,
+                "errors": [d.to_dict() for d in spec_diags],
+                "lint": [],
+            }, indent=2))
+        else:
+            for diagnostic in spec_diags:
+                print(diagnostic.format_text(), file=sys.stderr)
+        return 1 if failed else 0
+    errors = check_chain_resolution(graph, program, schema, path=where)
     diagnostics = check_deadline_propagation(graph, path=where)
+    analysis = None
+    if args.check and not errors:
+        from .analysis.graph import analyze_graph
+
+        analysis = analyze_graph(graph, program, schema, path=where)
+        diagnostics = diagnostics + analysis.diagnostics
     placement = None
     if not errors and not args.no_place:
         placement = solve_graph_placement(
@@ -541,20 +618,34 @@ def cmd_graph(args) -> int:
             strategy=args.strategy,
             machines=default_machine_pool(args.machines),
         )
-    threshold = Severity.from_name(args.fail_on)
-    failed = bool(errors) or any(
-        d.severity.rank >= threshold.rank for d in diagnostics
-    )
+    failed = _fails(errors + diagnostics, threshold)
 
     if args.format == "json":
         payload = {
             "graph": graph.to_dict(),
             "ok": not failed,
-            "errors": errors,
+            "errors": [d.to_dict() for d in errors],
             "lint": [d.to_dict() for d in diagnostics],
             "entry": graph.entry_services(),
             "depth": graph.depth(),
         }
+        if analysis is not None:
+            payload["analysis"] = {
+                "worst_amplification": analysis.worst_amplification,
+                "worst_path": list(analysis.worst_path),
+                "amplification": {
+                    f"{src}->{dst}": bound
+                    for (src, dst), bound in sorted(
+                        (key, edge.amplification_bound)
+                        for key, edge in analysis.edges.items()
+                    )
+                },
+                "live_fields": {
+                    service: sorted(fields)
+                    for service, fields in sorted(analysis.live.items())
+                },
+                "analysis_ms": analysis.analysis_ms,
+            }
         if placement is not None:
             payload["placement"] = placement.to_dict()
         print(json.dumps(payload, indent=2))
@@ -595,8 +686,19 @@ def cmd_graph(args) -> int:
             for segment in placement.edge_plans[edge.key].segments:
                 print(f"    [{segment.platform.value}@{segment.machine}] "
                       + ", ".join(segment.elements))
-    for message in errors:
-        print(f"error: {message}", file=sys.stderr)
+    if analysis is not None:
+        path_text = " -> ".join(analysis.worst_path) or "(none)"
+        print(
+            f"  analysis: worst retry amplification "
+            f"{analysis.worst_amplification:g}x via {path_text} "
+            f"({analysis.analysis_ms:.1f} ms)"
+        )
+        for service in order:
+            live = analysis.live.get(service)
+            if live is not None:
+                print(f"    live@{service}: {', '.join(sorted(live))}")
+    for diagnostic in errors:
+        print(diagnostic.format_text(), file=sys.stderr)
     for diagnostic in diagnostics:
         print(diagnostic.format_text())
     if diagnostics or errors:
@@ -636,6 +738,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--stdlib", action="store_true",
                        help="with --types: also check every "
                        "standard-library element")
+    check.add_argument(
+        "--graph", metavar="SPEC",
+        help="also check a service-graph topology spec against this "
+        "file's elements (interprocedural ADN600-ADN606 analysis)",
+    )
     check.add_argument("--no-stdlib", action="store_true",
                        help="do not merge the standard element library")
     check.add_argument("--format", choices=["text", "json"], default="text")
@@ -779,6 +886,13 @@ def build_parser() -> argparse.ArgumentParser:
     graph.add_argument(
         "--no-place", action="store_true",
         help="validate and lint only; skip the placement solve",
+    )
+    graph.add_argument(
+        "--check", action="store_true",
+        help="run the interprocedural analyzer (ADN600-ADN606): "
+        "propagate abstract field environments across edges, bound "
+        "retry amplification per path, check deadline budgets, "
+        "breaker coverage, fate coherence, and cross-service state",
     )
     graph.add_argument(
         "--fail-on", choices=["error", "warning", "hint"],

@@ -27,7 +27,7 @@ land inside that window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..dsl.schema import META_FIELDS, FieldType, RpcSchema
 from ..errors import HeaderLayoutError
@@ -191,13 +191,22 @@ def fields_needed_downstream(
     schema: RpcSchema,
     position: int,
     kind: str = "request",
+    app_reads: Optional[FrozenSet[str]] = None,
 ) -> FrozenSet[str]:
     """Fields that must be available just after chain position
     ``position`` (i.e. read by any later element, or consumed by the
-    destination application)."""
+    destination application).
+
+    ``app_reads`` narrows the "destination application" term: by default
+    the app is assumed to read every schema field, but the mesh-wide
+    liveness analysis (:mod:`repro.analysis.graph`) can prove a smaller
+    set — only those then count as consumed downstream."""
     needed: Set[str] = set(TRANSPORT_FIELDS)
-    # the destination application reads all its schema fields
-    needed |= set(schema.application_field_names())
+    if app_reads is None:
+        # the destination application reads all its schema fields
+        needed |= set(schema.application_field_names())
+    else:
+        needed |= set(app_reads) & set(schema.application_field_names())
     needed.add("status")
     for element in chain.elements[position + 1 :]:
         analysis: ElementAnalysis = element.analysis  # type: ignore[assignment]
@@ -255,6 +264,7 @@ def plan_hop_headers(
     kind: str = "request",
     guarantees=None,
     deadline: bool = False,
+    app_reads: Optional[FrozenSet[str]] = None,
 ) -> List[HopHeaderPlan]:
     """Compute the header layout for each processor-boundary hop.
 
@@ -264,7 +274,11 @@ def plan_hop_headers(
     response headers carry what earlier elements' response handlers
     read. ``guarantees`` (a GuaranteeDecl) may add seq/ack fields;
     ``deadline`` adds :data:`DEADLINE_WIRE_FIELD` (requests only —
-    a response's deadline has already been decided).
+    a response's deadline has already been decided). ``app_reads``
+    (request direction only) narrows the set of application fields the
+    destination is assumed to consume — see
+    :func:`fields_needed_downstream`; responses stay conservative, the
+    caller echoes whatever it sent.
     """
     all_types = dict(schema.all_fields())
     extra: Dict[str, FieldType] = dict(guarantee_fields(guarantees))
@@ -276,7 +290,9 @@ def plan_hop_headers(
         if kind == "response":
             needed = fields_needed_on_return(chain, schema, position)
         else:
-            needed = fields_needed_downstream(chain, schema, position, kind)
+            needed = fields_needed_downstream(
+                chain, schema, position, kind, app_reads=app_reads
+            )
         available = fields_available_at(chain, schema, position, "request")
         carried = (needed & available) | set(extra)
         types: Dict[str, FieldType] = {}

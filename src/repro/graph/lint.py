@@ -5,26 +5,52 @@ deadline custody off app chains; this module applies the same rule to a
 graph spec directly, where the facts are first-class fields instead of
 filter meta: an edge is deadline-*sensitive* when it retries
 (``max_attempts > 1``) or runs admission control, and an edge
-*establishes* a budget when ``deadline_budget_ms`` is set. Findings are
+*establishes* a budget when ``deadline_budget_ms`` is set. Both front
+ends share the actual traversal
+(:func:`repro.lint.deadline.walk_deadline_custody`). Findings are
 ordinary :class:`~repro.lint.diagnostics.Diagnostic` objects so the CLI
 renders them exactly like file lints.
+
+This module also owns ``ADN600``: lifting spec-loading and
+chain-resolution failures (malformed JSON, dangling edges, unknown
+element names) into diagnostics instead of tracebacks, so
+``repro graph``/``repro check --graph`` report them with a path, code,
+and element like every other finding.
 """
 
 from __future__ import annotations
 
-from typing import List
+import json
+from typing import List, Optional, Tuple
 
+from ..dsl.ast_nodes import Program
+from ..dsl.schema import RpcSchema
+from ..lint.deadline import CustodyEdge, walk_deadline_custody
 from ..lint.diagnostics import Diagnostic, Severity
-from .model import EdgeSpec, ServiceGraph
+from .model import EdgeSpec, GraphError, ServiceGraph
 
 
-def _sensitive(edge: EdgeSpec) -> List[str]:
+def _sensitive(edge: EdgeSpec) -> Tuple[str, ...]:
     reasons = []
     if edge.max_attempts > 1:
         reasons.append(f"retries (max_attempts={edge.max_attempts})")
     if edge.admission:
         reasons.append("admission control")
-    return reasons
+    return tuple(reasons)
+
+
+def _custody_edges(graph: ServiceGraph) -> List[CustodyEdge]:
+    return [
+        CustodyEdge(
+            src=edge.src,
+            dst=edge.dst,
+            name=edge.name,
+            sensitive=_sensitive(edge),
+            carries_budget=edge.deadline_budget_ms is not None,
+            payload=edge,
+        )
+        for edge in graph.edges
+    ]
 
 
 def check_deadline_propagation(
@@ -36,40 +62,33 @@ def check_deadline_propagation(
     child budget from the parent's remainder), or, for entry edges with
     no upstream, the edge itself must set one."""
     out: List[Diagnostic] = []
-    for edge in graph.edges:
-        reasons = _sensitive(edge)
-        if not reasons:
-            continue
-        upstream = graph.incoming(edge.src)
-        if not upstream:
-            if edge.deadline_budget_ms is None:
-                out.append(
-                    Diagnostic(
-                        code="ADN405",
-                        severity=Severity.WARNING,
-                        message=(
-                            f"entry edge {edge.name} uses "
-                            f"{' and '.join(reasons)} but sets no "
-                            "deadline_budget_ms — nothing bounds the "
-                            "work its elements act on"
-                        ),
-                        path=path,
-                        element=edge.name,
-                        fix="set deadline_budget_ms on the edge",
-                    )
-                )
-            continue
-        for parent in upstream:
-            if parent.deadline_budget_ms is not None:
-                continue
+    for finding in walk_deadline_custody(_custody_edges(graph)):
+        edge, parent = finding.edge, finding.parent
+        reasons = " and ".join(edge.sensitive)
+        if parent is None:
             out.append(
                 Diagnostic(
                     code="ADN405",
                     severity=Severity.WARNING,
                     message=(
-                        f"edge {edge.name} uses {' and '.join(reasons)} "
-                        f"but upstream edge {parent.name} propagates no "
-                        "deadline budget"
+                        f"entry edge {edge.name} uses {reasons} but sets "
+                        "no deadline_budget_ms — nothing bounds the "
+                        "work its elements act on"
+                    ),
+                    path=path,
+                    element=edge.name,
+                    fix="set deadline_budget_ms on the edge",
+                )
+            )
+        else:
+            out.append(
+                Diagnostic(
+                    code="ADN405",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"edge {edge.name} uses {reasons} but upstream "
+                        f"edge {parent.name} propagates no deadline "
+                        "budget"
                     ),
                     path=path,
                     element=edge.name,
@@ -78,4 +97,74 @@ def check_deadline_propagation(
                     "elements",
                 )
             )
+    return out
+
+
+# -- ADN600: spec loading and resolution as diagnostics -------------------
+
+
+def _spec_error(message: str, path: str, element: str = "") -> Diagnostic:
+    return Diagnostic(
+        code="ADN600",
+        severity=Severity.ERROR,
+        message=message,
+        path=path,
+        element=element,
+        fix="fix the topology spec; see docs/graph_analysis.md for the "
+        "JSON shape",
+    )
+
+
+def load_graph_spec(
+    path: str,
+) -> Tuple[Optional[ServiceGraph], List[Diagnostic]]:
+    """Load a JSON topology spec, turning every failure mode — unreadable
+    file, invalid JSON, structural errors like dangling edges or
+    duplicate services — into ``ADN600`` diagnostics instead of raised
+    exceptions. Returns ``(graph, diagnostics)``; ``graph`` is ``None``
+    exactly when loading failed."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return None, [_spec_error(f"cannot read spec: {exc}", path)]
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return None, [
+            _spec_error(f"invalid JSON: {exc}", path)
+        ]
+    try:
+        graph = ServiceGraph.from_dict(payload)
+    except (GraphError, TypeError, ValueError, KeyError) as exc:
+        return None, [_spec_error(str(exc), path)]
+    return graph, []
+
+
+def check_chain_resolution(
+    graph: ServiceGraph,
+    program: Program,
+    schema: RpcSchema,
+    path: str = "<graph>",
+) -> List[Diagnostic]:
+    """ADN600 for name resolution: every element named on an edge must
+    resolve in the program (element or filter). Wraps
+    :meth:`ServiceGraph.check_chains` so unknown names surface as
+    diagnostics carrying the offending edge."""
+    out: List[Diagnostic] = []
+    for edge in graph.edges:
+        for name in edge.elements:
+            if name in program.elements or name in program.filters:
+                continue
+            out.append(
+                _spec_error(
+                    f"edge {edge.name} names unknown element {name!r}",
+                    path,
+                    element=edge.name,
+                )
+            )
+    for message in graph.check_chains(program, schema):
+        if "unknown element" in message:
+            continue  # already reported per-edge above, with the edge name
+        out.append(_spec_error(message, path))
     return out

@@ -44,6 +44,16 @@ class ServiceSpec:
     #: pin the service to a machine; ``None`` lets the graph placement
     #: solve assign one
     machine: Optional[str] = None
+    #: application schema fields this service's *logic* consumes.
+    #: ``None`` means undeclared — the interprocedural analyzer then
+    #: conservatively assumes the service reads every application field.
+    #: Declaring reads is what lets mesh-wide dead-field elimination
+    #: shrink the wire headers feeding this service.
+    reads: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.reads is not None and not isinstance(self.reads, tuple):
+            object.__setattr__(self, "reads", tuple(self.reads))
 
     def to_dict(self) -> dict:
         out: dict = {"name": self.name}
@@ -51,6 +61,8 @@ class ServiceSpec:
             out["replicas"] = self.replicas
         if self.machine is not None:
             out["machine"] = self.machine
+        if self.reads is not None:
+            out["reads"] = list(self.reads)
         return out
 
 
@@ -84,10 +96,17 @@ class EdgeSpec:
     #: a failed call on this edge fails the parent RPC; optional edges
     #: (e.g. recommendations) degrade the answer instead
     required: bool = True
+    #: fields the admission controller hashes for fate-coherent shedding
+    #: (empty: the runtime's default config applies); sibling edges that
+    #: shed on different fields split one logical request's fate —
+    #: ADN604 checks this statically
+    hash_fields: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.elements, tuple):
             object.__setattr__(self, "elements", tuple(self.elements))
+        if not isinstance(self.hash_fields, tuple):
+            object.__setattr__(self, "hash_fields", tuple(self.hash_fields))
 
     @property
     def key(self) -> EdgeKey:
@@ -117,6 +136,8 @@ class EdgeSpec:
             value = getattr(self, key)
             if value != default:
                 out[key] = value
+        if self.hash_fields:
+            out["hash_fields"] = list(self.hash_fields)
         return out
 
 
@@ -285,10 +306,16 @@ class ServiceGraph:
                 raise GraphError(
                     "each service must be a name or an object with one"
                 )
+            reads = raw.get("reads")
             spec = ServiceSpec(
                 name=str(raw["name"]),
                 replicas=int(raw.get("replicas", 1)),
                 machine=raw.get("machine"),
+                reads=(
+                    tuple(str(f) for f in reads)
+                    if reads is not None
+                    else None
+                ),
             )
             if spec.name in services:
                 raise GraphError(f"duplicate service {spec.name!r}")
@@ -300,7 +327,7 @@ class ServiceGraph:
             unknown = set(raw) - {
                 "src", "dst", "elements", "deadline_budget_ms",
                 "max_attempts", "per_attempt_timeout_ms", "admission",
-                "queue_limit", "breaker", "required",
+                "queue_limit", "breaker", "required", "hash_fields",
             }
             if unknown:
                 raise GraphError(
@@ -330,6 +357,9 @@ class ServiceGraph:
                     ),
                     breaker=bool(raw.get("breaker", False)),
                     required=bool(raw.get("required", True)),
+                    hash_fields=tuple(
+                        str(f) for f in raw.get("hash_fields", ())
+                    ),
                 )
             )
         return cls(name=name, services=services, edges=edges)
@@ -369,11 +399,15 @@ class GraphBuilder:
         name: str,
         replicas: int = 1,
         machine: Optional[str] = None,
+        reads: Optional[Sequence[str]] = None,
     ) -> "GraphBuilder":
         if name in self._services:
             raise GraphError(f"duplicate service {name!r}")
         self._services[name] = ServiceSpec(
-            name=name, replicas=replicas, machine=machine
+            name=name,
+            replicas=replicas,
+            machine=machine,
+            reads=tuple(reads) if reads is not None else None,
         )
         return self
 

@@ -33,8 +33,8 @@ trip on a working service saying no.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, FrozenSet, Generator, List, Optional, Tuple
 
 from ..dsl.functions import FunctionRegistry
 from ..dsl.schema import RpcSchema
@@ -131,6 +131,7 @@ class GraphRuntime:
         breaker_policy: Optional[CircuitBreakerPolicy] = None,
         entry: Optional[str] = None,
         seed: int = 0,
+        edge_app_reads: Optional[Dict[EdgeKey, FrozenSet[str]]] = None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -142,6 +143,10 @@ class GraphRuntime:
         self._admission_default = admission or AdmissionConfig()
         self._retry_budget_default = retry_budget or RetryBudgetConfig()
         self._breaker_default = breaker_policy or CircuitBreakerPolicy()
+        #: mesh-proven live fields per edge (repro.analysis.graph's
+        #: GraphFieldPlan.edge_app_reads()); edges present here get wire
+        #: headers narrowed to what the mesh actually consumes
+        self._edge_app_reads = dict(edge_app_reads or {})
         self.stacks: Dict[EdgeKey, AdnMrpcStack] = {}
         self.registries: Dict[EdgeKey, FunctionRegistry] = {}
         self.edge_stats: Dict[EdgeKey, EdgeStats] = {}
@@ -191,6 +196,17 @@ class GraphRuntime:
             seed=seed,
         )
 
+    def _edge_admission(self, edge: EdgeSpec) -> Optional[AdmissionConfig]:
+        if not edge.admission:
+            return None
+        if edge.hash_fields:
+            # the spec's declared fate-hash overrides the runtime-wide
+            # default (ADN604 checks siblings agree statically)
+            return replace(
+                self._admission_default, hash_fields=edge.hash_fields
+            )
+        return self._admission_default
+
     def _build_stack(self, edge: EdgeSpec, seed: int) -> None:
         registry = FunctionRegistry(rng=random.Random(seed))
         policy = self._retry_policy(edge, seed)
@@ -207,7 +223,7 @@ class GraphRuntime:
             server_handler=self._make_handler(edge.dst),
             retry_policy=policy,
             queue_limit=edge.queue_limit,
-            admission=self._admission_default if edge.admission else None,
+            admission=self._edge_admission(edge),
             retry_budget=(
                 self._retry_budget_default if edge.max_attempts > 1 else None
             ),
@@ -218,6 +234,7 @@ class GraphRuntime:
             server_thread=f"{edge.dst}-app",
             l2_tag=edge.name,
             propagate_deadline=True,
+            app_reads=self._edge_app_reads.get(edge.key),
         )
         self.stacks[edge.key] = stack
         self.registries[edge.key] = registry

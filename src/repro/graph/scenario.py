@@ -58,13 +58,19 @@ def mesh_program():
 def bookinfo_graph(deadline_ms: float = 40.0) -> ServiceGraph:
     """Istio's bookinfo: productpage -> {details, reviews}, reviews ->
     ratings. The productpage edges carry the end-to-end budget; the
-    ratings hop inherits whatever remains of it."""
+    ratings hop inherits whatever remains of it.
+
+    The services declare what they actually consume (``reads``), which
+    is what lets the mesh-wide liveness analysis
+    (:mod:`repro.analysis.graph`) prove fields dead per edge and shrink
+    the wire headers — e.g. ``details`` only reads the payload, so
+    username/obj_id/priority never need to cross that edge."""
     return (
         GraphBuilder("bookinfo")
         .service("productpage")
-        .service("details")
-        .service("reviews", replicas=2)
-        .service("ratings")
+        .service("details", reads=("payload",))
+        .service("reviews", replicas=2, reads=("payload",))
+        .service("ratings", reads=("obj_id",))
         .edge(
             "productpage", "details",
             elements=("Logging",),
@@ -84,6 +90,7 @@ def bookinfo_graph(deadline_ms: float = 40.0) -> ServiceGraph:
             deadline_budget_ms=deadline_ms / 2,
             admission=True,
             queue_limit=48,
+            hash_fields=("username", "obj_id"),
         )
         .build()
     )
@@ -129,6 +136,7 @@ def hotel_mesh_graph(
         per_attempt_timeout_ms=half,
         admission=True,
         queue_limit=48,
+        hash_fields=("username", "obj_id"),
         breaker=True,
     )
     builder.edge(
@@ -139,6 +147,7 @@ def hotel_mesh_graph(
         per_attempt_timeout_ms=half,
         admission=True,
         queue_limit=48,
+        hash_fields=("username", "obj_id"),
         breaker=True,
     )
     builder.edge(
@@ -157,6 +166,7 @@ def hotel_mesh_graph(
         per_attempt_timeout_ms=half,
         admission=True,
         queue_limit=48,
+        hash_fields=("username", "obj_id"),
         breaker=True,
     )
     builder.edge(
@@ -174,6 +184,7 @@ def hotel_mesh_graph(
         per_attempt_timeout_ms=crash_timeout_ms,
         admission=True,
         queue_limit=48,
+        hash_fields=("username", "obj_id"),
         breaker=True,
     )
     builder.edge(
@@ -213,6 +224,7 @@ def hotel_mesh_graph(
         per_attempt_timeout_ms=crash_timeout_ms,
         admission=True,
         queue_limit=48,
+        hash_fields=("username", "obj_id"),
         breaker=True,
     )
     builder.edge(

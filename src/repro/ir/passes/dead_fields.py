@@ -45,16 +45,27 @@ def eliminate_dead_fields(
     elements: Sequence[ElementIR],
     schema,
     registry: FunctionRegistry,
+    app_fields: Optional[Set[str]] = None,
 ) -> Tuple[List[ElementIR], List[Removal]]:
     """Strip dead Project items from every element of an ordered chain.
 
     Elements must be analyzed; modified elements come back re-analyzed.
     Requires the app's ``RpcSchema`` (its fields are always live); with
-    ``schema=None`` the pass is a no-op.
+    ``schema=None`` the pass is a no-op. ``app_fields`` overrides which
+    schema fields the *destination* application consumes on the request
+    path: per chain that is all of them, but the mesh-wide liveness
+    analysis (:mod:`repro.analysis.graph`) can prove a smaller live set
+    for one edge and pass it here. The response direction always keeps
+    the full schema live — responses echo to the caller's application,
+    which sits outside the mesh liveness model.
     """
     if schema is None:
         return list(elements), []
-    app_fields = set(schema.application_field_names())
+    schema_fields = set(schema.application_field_names())
+    if app_fields is None:
+        app_fields = set(schema_fields)
+    else:
+        app_fields = set(app_fields) & schema_fields
     request_reads = [_handler_reads(e, "request") for e in elements]
     response_reads = [_handler_reads(e, "response") for e in elements]
     all_response_reads: Set[str] = set().union(*response_reads) if elements else set()
@@ -77,7 +88,7 @@ def eliminate_dead_fields(
                 # responses traverse the chain in reverse: downstream of
                 # position i are the elements before it
                 live = set().union(
-                    _ALWAYS_LIVE, app_fields, *response_reads[:index]
+                    _ALWAYS_LIVE, schema_fields, *response_reads[:index]
                 )
             new_handler, handler_removed = _strip_handler(
                 element.name, handler, live, registry

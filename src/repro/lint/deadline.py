@@ -1,0 +1,79 @@
+"""The deadline-custody traversal behind ``ADN405``.
+
+Two front ends ask the same question — *does every deadline-sensitive
+edge sit under a budget?* — over two representations: the DSL-side rule
+(:mod:`repro.lint.rules.graph`) reads app chains where "sensitive" means
+retry filters / admission elements and "carries a budget" means a retry
+filter with ``deadline_budget_ms``; the spec-side check
+(:mod:`repro.graph.lint`) reads first-class :class:`EdgeSpec` fields.
+This module owns the walk itself; callers lower their edges into
+:class:`CustodyEdge` and render :class:`CustodyFinding` results into
+their own diagnostic flavor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CustodyEdge:
+    """One service-graph edge, reduced to the facts the walk needs.
+
+    ``sensitive`` holds human-readable reasons the edge consumes a
+    deadline (empty tuple: not sensitive). ``carries_budget`` is whether
+    the edge itself establishes a deadline budget. ``payload`` is an
+    opaque handle (an ``EdgeSpec``, a ``ChainDecl``) the caller gets
+    back on findings for span/element extraction.
+    """
+
+    src: str
+    dst: str
+    name: str
+    sensitive: Tuple[str, ...] = ()
+    carries_budget: bool = False
+    payload: object = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class CustodyFinding:
+    """A break in the chain of deadline custody.
+
+    ``parent is None`` means ``edge`` is a sensitive *entry* edge (no
+    upstream) that sets no budget of its own; otherwise ``parent`` is an
+    upstream edge into ``edge.src`` that propagates no budget.
+    """
+
+    edge: CustodyEdge
+    parent: Optional[CustodyEdge]
+
+
+def walk_deadline_custody(
+    edges: Sequence[CustodyEdge],
+) -> List[CustodyFinding]:
+    """Find every deadline-sensitive edge not covered by a budget.
+
+    A sensitive edge is covered when every upstream edge into its source
+    establishes ``deadline_budget_ms`` (the runtime then derives the
+    child budget from the parent's remainder) — or, for entry edges with
+    no upstream at all, when the edge itself establishes one. One
+    finding is produced per uncovered parent, so the fix hint can name
+    the exact edge to annotate.
+    """
+    by_dst: Dict[str, List[CustodyEdge]] = {}
+    for edge in edges:
+        by_dst.setdefault(edge.dst, []).append(edge)
+    out: List[CustodyFinding] = []
+    for edge in edges:
+        if not edge.sensitive:
+            continue
+        upstream = by_dst.get(edge.src, [])
+        if not upstream:
+            if not edge.carries_budget:
+                out.append(CustodyFinding(edge=edge, parent=None))
+            continue
+        for parent in upstream:
+            if not parent.carries_budget:
+                out.append(CustodyFinding(edge=edge, parent=parent))
+    return out

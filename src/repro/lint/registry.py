@@ -65,6 +65,7 @@ def _load_builtin_rules() -> None:
         cross_element,
         dead,
         graph,
+        graph_flow,
         overload,
         placement,
         state_race,

@@ -15,10 +15,11 @@ time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ...dsl.ast_nodes import ChainDecl, Program
 from ...dsl.stdlib import load_stdlib
+from ..deadline import CustodyEdge, walk_deadline_custody
 from ..diagnostics import Diagnostic, Severity
 from ..registry import rule
 
@@ -66,6 +67,23 @@ def _carries_budget(chain: ChainDecl, namespace: Program) -> bool:
     return False
 
 
+def _custody_edges(app, namespace: Program) -> List[CustodyEdge]:
+    """Lower an app's chains into the shared traversal's edge shape:
+    "sensitive" reasons are the deadline-consuming element names, and
+    the ``ChainDecl`` rides along as payload for span extraction."""
+    return [
+        CustodyEdge(
+            src=chain.src,
+            dst=chain.dst,
+            name=f"{chain.src} -> {chain.dst}",
+            sensitive=tuple(_deadline_sensitive(chain, namespace)),
+            carries_budget=_carries_budget(chain, namespace),
+            payload=chain,
+        )
+        for chain in app.chains
+    ]
+
+
 @rule("ADN405", "edge-without-upstream-deadline", Severity.WARNING)
 def check_edge_without_upstream_deadline(context) -> List[Diagnostic]:
     """A multi-chain app has an edge whose chain uses deadline-sensitive
@@ -81,31 +99,28 @@ def check_edge_without_upstream_deadline(context) -> List[Diagnostic]:
             continue  # single-hop apps have no upstream edges
         if namespace is None:
             namespace = _resolution(context)
-        by_dst: Dict[str, List[ChainDecl]] = {}
-        for chain in app.chains:
-            by_dst.setdefault(chain.dst, []).append(chain)
-        for chain in app.chains:
-            sensitive = _deadline_sensitive(chain, namespace)
-            if not sensitive:
+        for finding in walk_deadline_custody(_custody_edges(app, namespace)):
+            if finding.parent is None:
+                # entry-edge custody is the runtime caller's job in the
+                # DSL view; only broken *propagation* is a finding here
                 continue
-            for upstream in by_dst.get(chain.src, []):
-                if _carries_budget(upstream, namespace):
-                    continue
-                out.append(
-                    context.diag(
-                        "ADN405",
-                        Severity.WARNING,
-                        f"edge {chain.src} -> {chain.dst} uses "
-                        f"deadline-sensitive element(s) "
-                        f"{', '.join(repr(n) for n in sensitive)} but "
-                        f"upstream edge {upstream.src} -> {upstream.dst} "
-                        "propagates no deadline budget",
-                        span=upstream.span or chain.span or app.span,
-                        element=app_name,
-                        fix="add a retry filter with "
-                        "'deadline_budget_ms: <ms>;' to the upstream "
-                        "chain so the remaining budget reaches the "
-                        "downstream elements",
-                    )
+            chain = finding.edge.payload
+            upstream: ChainDecl = finding.parent.payload
+            out.append(
+                context.diag(
+                    "ADN405",
+                    Severity.WARNING,
+                    f"edge {finding.edge.name} uses "
+                    f"deadline-sensitive element(s) "
+                    f"{', '.join(repr(n) for n in finding.edge.sensitive)}"
+                    f" but upstream edge {finding.parent.name} "
+                    "propagates no deadline budget",
+                    span=upstream.span or chain.span or app.span,
+                    element=app_name,
+                    fix="add a retry filter with "
+                    "'deadline_budget_ms: <ms>;' to the upstream "
+                    "chain so the remaining budget reaches the "
+                    "downstream elements",
                 )
+            )
     return out

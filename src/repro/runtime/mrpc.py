@@ -24,7 +24,7 @@ Key fidelity points:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Generator, List, Optional, Sequence, Tuple
 
 from ..compiler.compiler import CompiledChain
 from ..compiler.headers import plan_hop_headers
@@ -137,6 +137,7 @@ class AdnMrpcStack:
         server_thread: str = "server-app",
         l2_tag: str = "",
         propagate_deadline: bool = False,
+        app_reads: Optional[FrozenSet[str]] = None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -204,6 +205,10 @@ class AdnMrpcStack:
             retry_policy is not None
             and getattr(retry_policy, "deadline_budget_ms", None) is not None
         )
+        #: mesh-proven application reads at the destination (None:
+        #: assume every schema field) — narrows the request hop header
+        #: exactly like repro.analysis.graph computed it
+        self._app_reads = app_reads
         self._configure_overload(self.processors)
         self._transport: Dict[str, Resource] = {}
         for side, machine_name, mode in (
@@ -325,6 +330,7 @@ class AdnMrpcStack:
             self.chain.ir, self.schema, [boundary],
             guarantees=self.guarantees,
             deadline=self._propagate_deadline,
+            app_reads=self._app_reads,
         )
         self.hop_plan = plans[0]
         response_plans = plan_hop_headers(
