@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench faults overload graph graph-check examples check-all lint typecheck loc
+.PHONY: install test bench faults overload graph graph-check sanitize analyze examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -77,6 +77,25 @@ graph-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_graph_analysis.py -q
 	PYTHONPATH=src $(PYTHON) -m pytest \
 	    benchmarks/test_graph_analysis_overhead.py -q
+
+sanitize:
+	@# runtime shadow sanitizer: unit suite + chaos trials with the
+	@# sanitizer attached (clean meshes must stay silent under faults;
+	@# the double-charge example must trip it) + overhead bound
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_sanitizer.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/test_sanitizer_overhead.py -q
+
+analyze: lint typecheck graph-check
+	@# aggregate static-analysis gate: style lint + ADN lint, abstract
+	@# typecheck + translation validation, the interprocedural graph
+	@# analyzer, the effect-summary engine suite, and the negative
+	@# gate — the intentionally broken double-charge spec must FAIL
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_effects.py -q
+	@! PYTHONPATH=src $(PYTHON) -m repro graph \
+	    examples/double_charge.graph.json --check --no-place >/dev/null \
+	    || (echo 'double_charge.graph.json should have failed --check' \
+	        && exit 1)
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,90 @@
+"""Shadow-sanitizer overhead: chaos trials with the checker attached.
+
+The `StateSanitizer` observes every table insert/update/delete and var
+write during a trial, so its cost lands on the hottest path the runtime
+has. For it to be usable as an always-on CI gate (`make sanitize`), a
+sanitized trial must stay within 2x the wall-clock of an unsanitized
+one — measured on the same mesh, workload, fault plan, and seed.
+"""
+
+import time
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.graph.scenario import hotel_mesh_graph, run_graph_scenario
+from repro.state.table import StateSanitizer
+
+from bench_harness import bench_assert, print_table
+
+#: sanitizer-on wall-clock must stay under this multiple of off
+MAX_SLOWDOWN = 2.0
+#: trials too fast to time honestly get a noise floor instead of a ratio
+FLOOR_S = 0.05
+
+LINK_LOSS = FaultPlan(
+    events=[
+        FaultEvent(
+            at_s=0.02, kind="link_loss", magnitude=0.3, duration_s=0.08
+        )
+    ],
+    seed=3,
+)
+
+
+def timed_trial(sanitizer):
+    started = time.perf_counter()
+    run_graph_scenario(
+        graph=hotel_mesh_graph(),
+        duration_s=0.15,
+        base_rps=1_500.0,
+        fault_plan=LINK_LOSS,
+        sanitizer=sanitizer,
+        seed=3,
+    )
+    return time.perf_counter() - started
+
+
+def test_sanitizer_overhead_bounded(benchmark):
+    timings = {}
+
+    def run():
+        # interleave off/on pairs and keep the best of each, so a
+        # one-off scheduler hiccup cannot fail the bound
+        off = min(timed_trial(None) for _ in range(2))
+        sanitizer = StateSanitizer()
+        on = min(timed_trial(sanitizer) for _ in range(2))
+        sanitizer.check_divergence()
+        assert sanitizer.violations == [], [
+            v.describe() for v in sanitizer.violations
+        ]
+        timings["off"] = off * 1e3
+        timings["on"] = on * 1e3
+        if off > FLOOR_S:
+            assert on < off * MAX_SLOWDOWN, (
+                f"sanitized trial took {on * 1e3:.0f} ms vs "
+                f"{off * 1e3:.0f} ms bare ({on / off:.2f}x, "
+                f"bound {MAX_SLOWDOWN:g}x)"
+            )
+        else:
+            # sub-floor trials: bound the absolute overhead instead
+            assert on < FLOOR_S * MAX_SLOWDOWN
+        print_table(
+            "hotel-mesh chaos trial wall time",
+            rows=["wall_ms"],
+            columns=["sanitizer off", "sanitizer on"],
+            cell=lambda row, col: timings[
+                "off" if "off" in col else "on"
+            ],
+            unit="ms",
+        )
+
+    bench_assert(benchmark, run)
+
+
+def test_disabled_sanitizer_is_near_free():
+    """`StateSanitizer(enabled=False)` keeps the hooks attached but
+    records nothing — the observer early-outs must keep it cheap and,
+    above all, silent."""
+    sanitizer = StateSanitizer(enabled=False)
+    timed_trial(sanitizer)
+    sanitizer.check_divergence()
+    assert sanitizer.violations == []

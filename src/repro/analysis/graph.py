@@ -33,6 +33,18 @@ when those analyses see the whole graph. This module lifts them:
   fate-coherence of sibling ``hash_fields``, and RMW state reachable
   from multiple edges.
 
+* **State-effect semantics (ADN700–703).** Per-element effect
+  summaries (:mod:`repro.analysis.effects`) composed over the same
+  walk: non-idempotent mutations reachable under a retrying edge
+  without rpc_id-keyed dedup (``ADN700``), mutations that do not
+  commute with themselves across fan-out sibling interleavings
+  (``ADN701``), replica-divergent mutations on elements the coarse
+  replication classifier would still scale out (``ADN702`` — the
+  refined verdicts also gate the ``Autoscaler``), and retry-visible
+  reads: response fields a duplicate attempt observes differently
+  (``ADN703``). The runtime ``StateSanitizer`` shadows exactly these
+  findings.
+
 ``ADN600`` (owned by :mod:`repro.graph.lint`) covers spec loading and
 name resolution so every failure mode of ``repro graph --check`` is a
 diagnostic, never a traceback.
@@ -61,9 +73,10 @@ from ..ir.analysis import analyze_element
 from ..ir.builder import build_element_ir
 from ..ir.nodes import ChainIR, ElementIR
 from ..ir.passes.dead_fields import Removal, eliminate_dead_fields
-from ..ir.replication import AccessMode
-from ..lint.diagnostics import Diagnostic, Severity
+from ..ir.replication import AccessMode, ReplicationSafety
+from ..lint.diagnostics import Diagnostic, Severity, dedupe_diagnostics
 from .domains import join
+from .effects import ElementEffects, element_effects, refine_replication
 from .typecheck import Env, TypeFinding, check_chain, env_from_schema
 from .validate import ValidationVerdict, validate_rewrite
 
@@ -117,6 +130,13 @@ class GraphAnalysis:
     worst_amplification: float = 1.0
     worst_path: Tuple[str, ...] = ()
     analysis_ms: float = 0.0
+    #: per-element effect summaries (every distinct element in the
+    #: graph's chains) and their effect-refined replication verdicts —
+    #: the latter is what gates ``Autoscaler`` scale-out (ADN702)
+    effects: Dict[str, ElementEffects] = field(default_factory=dict)
+    refined_safety: Dict[str, ReplicationSafety] = field(
+        default_factory=dict
+    )
 
     def amplification_bound(self, src: str, dst: str) -> float:
         return self.edges[(src, dst)].amplification_bound
@@ -560,6 +580,160 @@ def _check_state_escalation(
     return out
 
 
+# -- effect semantics (ADN700-ADN703) --------------------------------------
+
+
+def _check_effects(
+    graph: ServiceGraph,
+    chains: Dict[EdgeKey, List[ElementIR]],
+    bounds: Dict[EdgeKey, float],
+    path: str,
+) -> Tuple[
+    List[Diagnostic],
+    Dict[str, ElementEffects],
+    Dict[str, ReplicationSafety],
+]:
+    """The ADN700 family over per-element effect summaries.
+
+    ADN700: a non-idempotent mutation (no rpc_id-keyed dedup) on an
+    element reachable under a retrying edge — every duplicate attempt
+    of one logical call re-applies it. ADN701: a non-self-commutative
+    mutation on one of a parent's parallel fan-out edges — sibling
+    sub-RPCs interleave nondeterministically, so the final state is
+    order-dependent. ADN702: the effect-refined replication verdict
+    demotes an element the coarse classifier would scale out. ADN703: a
+    duplicate attempt *observes* the re-applied state — an emitted
+    field derived from a non-idempotently-mutated table/var.
+    """
+    by_name: Dict[str, ElementIR] = {}
+    for edge in graph.edges:
+        for element in chains[edge.key]:
+            by_name.setdefault(element.name, element)
+    effects: Dict[str, ElementEffects] = {}
+    refined: Dict[str, ReplicationSafety] = {}
+    for name, element in sorted(by_name.items()):
+        summary = element_effects(element)
+        effects[name] = summary
+        safety = getattr(element.analysis, "replication", None)
+        if safety is not None:
+            refined[name] = refine_replication(safety, summary)
+    out: List[Diagnostic] = []
+
+    seen: Set[Tuple] = set()
+    for edge in graph.edges:
+        if bounds.get(edge.key, 1.0) <= 1.0:
+            continue
+        bound = bounds[edge.key]
+        for element in chains[edge.key]:
+            summary = effects[element.name]
+            for site in summary.non_idempotent_sites():
+                key = ("ADN700", edge.key, element.name, site.target_id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    _diag(
+                        "ADN700",
+                        Severity.ERROR,
+                        f"edge {edge.name}: {site.describe()} executes "
+                        f"up to {bound:g}x per logical call under the "
+                        "path's retries, and nothing dedups duplicate "
+                        "attempts — each retry re-applies the mutation",
+                        path,
+                        element=element.name,
+                        fix="key the mutation by input.rpc_id (duplicate "
+                        "attempts then collapse), restructure it into an "
+                        "idempotent set, or drop max_attempts to 1 on "
+                        "every edge above this element",
+                    )
+                )
+            for read, site in summary.retry_visible_reads():
+                key = (
+                    "ADN703",
+                    edge.key,
+                    element.name,
+                    read.output_field,
+                    read.target_id,
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    _diag(
+                        "ADN703",
+                        Severity.WARNING,
+                        f"edge {edge.name}: output field "
+                        f"{read.output_field!r} is derived from "
+                        f"{read.target_kind} {read.target!r}, which "
+                        f"{site.describe()} mutates non-idempotently — "
+                        "a retried attempt observes (and answers with) "
+                        "a different value than the first",
+                        path,
+                        element=element.name,
+                        fix="derive the response only from the request "
+                        "and rpc_id-deduplicated state, or make the "
+                        "mutation idempotent",
+                    )
+                )
+
+    for service in sorted(graph.services):
+        siblings = graph.outgoing(service)
+        if len(siblings) < 2:
+            continue
+        for edge in siblings:
+            for element in chains[edge.key]:
+                summary = effects[element.name]
+                for site in summary.non_commutative_sites():
+                    key = ("ADN701", service, element.name, site.target_id)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(
+                        _diag(
+                            "ADN701",
+                            Severity.WARNING,
+                            f"service {service!r} fans out over "
+                            f"{len(siblings)} parallel edges and "
+                            f"{site.describe()} does not commute with "
+                            "itself — sibling sub-RPCs interleave "
+                            "nondeterministically, so the final state "
+                            "is order-dependent",
+                            path,
+                            element=element.name,
+                            fix="restructure the update into a "
+                            "commutative shape (pure insert, "
+                            "col = col + delta), or serialize the "
+                            "fan-out",
+                        )
+                    )
+
+    for name in sorted(effects):
+        element = by_name[name]
+        coarse = getattr(element.analysis, "replication", None)
+        tightened = refined.get(name)
+        if coarse is None or tightened is None:
+            continue
+        if not coarse.shardable or tightened.shardable:
+            continue
+        reasons = "; ".join(tightened.reasons())
+        out.append(
+            _diag(
+                "ADN702",
+                Severity.WARNING,
+                f"element {name!r} passes the coarse replication "
+                "classifier but per-mutation-site analysis proves its "
+                f"replicas observably diverge: {reasons} — the "
+                "autoscaler must not scale it out",
+                path,
+                element=name,
+                fix="stop deriving outputs from the diverging state, "
+                "make the update deterministic, or accept single-copy "
+                "placement (meta { checkpoint: true; } for recovery)",
+            )
+        )
+    return out, effects, refined
+
+
 # -- interprocedural environments (ADN606) --------------------------------
 
 _SEVERITY = {"error": Severity.ERROR, "warning": Severity.WARNING}
@@ -664,6 +838,10 @@ def analyze_graph(
     diagnostics.extend(_check_deep_coverage(graph, path))
     diagnostics.extend(_check_fate_coherence(graph, schema, path))
     diagnostics.extend(_check_state_escalation(graph, chains, path))
+    effect_diags, effects, refined = _check_effects(
+        graph, chains, bounds, path
+    )
+    diagnostics.extend(effect_diags)
 
     edges: Dict[EdgeKey, EdgeAnalysis] = {}
     service_env: Dict[str, Optional[Env]] = {}
@@ -754,7 +932,7 @@ def analyze_graph(
                 boundary_findings=boundary_findings,
             )
 
-    diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.code))
+    diagnostics = dedupe_diagnostics(diagnostics)
     return GraphAnalysis(
         graph=graph,
         schema=schema,
@@ -766,6 +944,8 @@ def analyze_graph(
         worst_amplification=worst,
         worst_path=worst_path,
         analysis_ms=(time.perf_counter() - started) * 1e3,
+        effects=effects,
+        refined_safety=refined,
     )
 
 

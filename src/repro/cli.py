@@ -91,6 +91,7 @@ def _graph_spec_diagnostics(args, program, schema, spec: str):
         load_graph_spec,
     )
     from .lint import Severity
+    from .lint.diagnostics import dedupe_diagnostics
 
     graph, diagnostics = load_graph_spec(spec)
     if graph is not None:
@@ -103,6 +104,10 @@ def _graph_spec_diagnostics(args, program, schema, spec: str):
             diagnostics += analyze_graph(
                 graph, program, schema, path=spec
             ).diagnostics
+    # both the DSL-side and spec-side emitters of a shared rule may have
+    # fired for one root cause: collapse to the winner and present in
+    # stable (file, span, rule id) order
+    diagnostics = dedupe_diagnostics(diagnostics)
     threshold = Severity.from_name(args.fail_on)
     return diagnostics, _fails(diagnostics, threshold)
 
@@ -228,6 +233,21 @@ def cmd_check(args) -> int:
 
 def cmd_lint(args) -> int:
     from .lint import LintOptions, Severity, lint_file, lint_source
+
+    if args.explain:
+        from .lint.explain import explain_rule
+        from .lint.registry import all_rules
+
+        text = explain_rule(args.explain)
+        if text is None:
+            known = ", ".join(r.code for r in all_rules())
+            print(
+                f"unknown rule {args.explain!r}; registered rules: {known}",
+                file=sys.stderr,
+            )
+            return 1
+        print(text)
+        return 0
 
     schema = _schema_from_args(args.field) if args.field else None
     cluster = ClusterSpec(
@@ -609,6 +629,9 @@ def cmd_graph(args) -> int:
 
         analysis = analyze_graph(graph, program, schema, path=where)
         diagnostics = diagnostics + analysis.diagnostics
+    from .lint.diagnostics import dedupe_diagnostics
+
+    diagnostics = dedupe_diagnostics(diagnostics)
     placement = None
     if not errors and not args.no_place:
         placement = solve_graph_placement(
@@ -753,6 +776,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static analysis: state races, dead state, placement"
     )
     lint.add_argument("files", nargs="*", metavar="FILE")
+    lint.add_argument(
+        "--explain", metavar="ADNxxx",
+        help="print a rule's description, default severity, and a "
+        "minimal triggering example, then exit",
+    )
     lint.add_argument("--format", choices=["text", "json"], default="text")
     lint.add_argument(
         "--fail-on", choices=["error", "warning", "hint"], default="error",

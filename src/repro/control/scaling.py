@@ -76,6 +76,12 @@ class Autoscaler:
     silently change semantics (each replica would see a fraction of the
     element's history). Refusals are recorded as ``refused_out`` events
     with the blocking reasons. Scale-in is always allowed.
+
+    ``effects`` optionally carries the hosted elements' effect summaries
+    (``analysis.effects.ElementEffects``); when present, each coarse
+    verdict is tightened to per-mutation-site proofs before gating
+    scale-out, so a coarsely-shardable element with a replica-divergent
+    mutation site is refused with the site's reason (ADN702).
     """
 
     def __init__(
@@ -87,12 +93,27 @@ class Autoscaler:
         migration_timing: Optional[MigrationTiming] = None,
         safety: Optional[Sequence[ReplicationSafety]] = None,
         admission: Optional[AdmissionController] = None,
+        effects: Optional[Sequence] = None,
     ):
         self.sim = sim
         self.resource = resource
         self.config = config or AutoscalerConfig()
         self.stateful_tables = stateful_tables or []
         self.safety = list(safety or [])
+        if effects:
+            # per-mutation-site proofs (repro.analysis.effects) tighten
+            # the coarse verdicts: an element the coarse classifier calls
+            # shardable but whose summary holds a replica-divergent
+            # mutation site must not gain replicas (ADN702)
+            from ..analysis.effects import refine_replication
+
+            by_element = {summary.element: summary for summary in effects}
+            self.safety = [
+                refine_replication(verdict, by_element[verdict.element])
+                if verdict.element in by_element
+                else verdict
+                for verdict in self.safety
+            ]
         self.migrator = Migrator(sim, migration_timing)
         #: the processor's admission controller, engaged only as the
         #: last escalation step (shed before collapse)

@@ -132,6 +132,7 @@ class GraphRuntime:
         entry: Optional[str] = None,
         seed: int = 0,
         edge_app_reads: Optional[Dict[EdgeKey, FrozenSet[str]]] = None,
+        sanitizer=None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -147,6 +148,9 @@ class GraphRuntime:
         #: GraphFieldPlan.edge_app_reads()); edges present here get wire
         #: headers narrowed to what the mesh actually consumes
         self._edge_app_reads = dict(edge_app_reads or {})
+        #: one shadow exactly-once checker shared by every edge stack
+        #: (repro.state.StateSanitizer); None runs the mesh unchecked
+        self.sanitizer = sanitizer
         self.stacks: Dict[EdgeKey, AdnMrpcStack] = {}
         self.registries: Dict[EdgeKey, FunctionRegistry] = {}
         self.edge_stats: Dict[EdgeKey, EdgeStats] = {}
@@ -235,6 +239,7 @@ class GraphRuntime:
             l2_tag=edge.name,
             propagate_deadline=True,
             app_reads=self._edge_app_reads.get(edge.key),
+            sanitizer=self.sanitizer,
         )
         self.stacks[edge.key] = stack
         self.registries[edge.key] = registry

@@ -286,6 +286,7 @@ def run_graph_scenario(
     admission: Optional[AdmissionConfig] = None,
     strategy: str = "software",
     seed: int = 1,
+    sanitizer=None,
 ) -> GraphScenarioResult:
     """One fresh simulation of a mesh under this workload/fault plan.
 
@@ -328,6 +329,7 @@ def run_graph_scenario(
             failure_threshold=100, open_ms=2.0, seed=seed
         ),
         seed=seed,
+        sanitizer=sanitizer,
     )
 
     injector = FaultInjector(sim, cluster)

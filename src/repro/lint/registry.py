@@ -8,6 +8,7 @@ them (or a selected subset) and docs/tests can enumerate the catalog.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from inspect import cleandoc
 from typing import Callable, Dict, Iterable, List
 
 from .diagnostics import Diagnostic, Severity
@@ -37,7 +38,7 @@ def rule(code: str, name: str, severity: Severity):
             code=code,
             name=name,
             severity=severity,
-            doc=(fn.__doc__ or "").strip(),
+            doc=cleandoc(fn.__doc__ or "").strip(),
             check=fn,
         )
         return fn
@@ -64,6 +65,7 @@ def _load_builtin_rules() -> None:
     from .rules import (  # noqa: F401
         cross_element,
         dead,
+        effects,
         graph,
         graph_flow,
         overload,

@@ -203,6 +203,7 @@ def wrap_retry_policy(
     budget: Optional[RetryBudget] = None,
     breaker: Optional[CircuitBreaker] = None,
     propagate_deadline: bool = False,
+    sanitizer=None,
 ) -> CallFn:
     """Wrap ``call`` with a :class:`RetryPolicy`.
 
@@ -310,6 +311,11 @@ def wrap_retry_policy(
                 stats.budget_exhausted += 1
                 return _finish(outcome)
             stats.retries += 1
+            if sanitizer is not None:
+                # cross-check channel for the shadow state sanitizer: it
+                # learns this rpc_id is about to re-execute (its attempt
+                # counter at call_raw sees the duplicate independently)
+                sanitizer.note_retry(fields.get("rpc_id"))
             if backoff > 0:
                 stats.backoff_s_total += backoff
                 yield sim.timeout(backoff)

@@ -138,6 +138,7 @@ class AdnMrpcStack:
         l2_tag: str = "",
         propagate_deadline: bool = False,
         app_reads: Optional[FrozenSet[str]] = None,
+        sanitizer=None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -191,8 +192,20 @@ class AdnMrpcStack:
         self.server_app: Resource = cluster.machine(server_machine).thread(
             self.server_thread, capacity=max(1, server_replicas)
         )
+        #: shadow exactly-once/divergence checker (repro.state), shared
+        #: across the path's processors; replicas of this stack's element
+        #: instances group under the stack identity (its l2 tag, else the
+        #: service pair) so independent per-edge instances never compare
+        self.sanitizer = sanitizer
+        self._sanitizer_instance = (
+            l2_tag or f"{client_service}->{server_service}"
+        )
         self.processors: List[ProcessorRuntime] = [
-            ProcessorRuntime(sim, cluster, segment, chain, registry, handcoded)
+            ProcessorRuntime(
+                sim, cluster, segment, chain, registry, handcoded,
+                sanitizer=sanitizer,
+                sanitizer_instance=self._sanitizer_instance,
+            )
             for segment in self.plan.segments
         ]
         #: overload-control configuration (repro.overload): bounded
@@ -270,6 +283,7 @@ class AdnMrpcStack:
                 budget=self.retry_budget,
                 breaker=self.breaker,
                 propagate_deadline=self._propagate_deadline,
+                sanitizer=sanitizer,
             )
         if filters:
             from .filters import apply_filters
@@ -502,6 +516,14 @@ class AdnMrpcStack:
             dst=self.server_service,
             **fields,
         )
+        if self.sanitizer is not None:
+            # attempts of one logical RPC share an rpc_id (the retry
+            # wrapper pins it), so the counter makes attempt 2+ visible
+            # to the sanitizer as duplicate executions; scoped by stack
+            # because each stack's wrapper numbers ids independently
+            self.sanitizer.note_attempt(
+                request.get("rpc_id"), scope=self._sanitizer_instance
+            )
         mirrored = 0
         # client app issues into shared memory
         yield from self._use(
@@ -757,6 +779,8 @@ class AdnMrpcStack:
         exactly how a real data plane drains a superseded config.
         """
         old = self.processors
+        for processor in old:
+            processor.detach_sanitizer()
         self.plan = new_plan
         self.processors = [
             ProcessorRuntime(
@@ -766,6 +790,8 @@ class AdnMrpcStack:
                 self.chain,
                 self.registry,
                 self.handcoded,
+                sanitizer=self.sanitizer,
+                sanitizer_instance=self._sanitizer_instance,
             )
             for segment in new_plan.segments
         ]

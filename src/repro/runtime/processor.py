@@ -99,6 +99,8 @@ class ProcessorRuntime:
         chain: CompiledChain,
         registry: FunctionRegistry,
         handcoded: bool = False,
+        sanitizer=None,
+        sanitizer_instance: str = "",
     ):
         self.sim = sim
         self.cluster = cluster
@@ -108,6 +110,11 @@ class ProcessorRuntime:
         self.costs: CostModel = cluster.costs
         self.handcoded = handcoded
         self._pending_func_us = 0.0
+        #: shadow exactly-once checker (repro.state.table.StateSanitizer);
+        #: when set, element execution is bracketed with its rpc context
+        #: and every instance's state is attached on creation
+        self.sanitizer = sanitizer
+        self._sanitizer_instance = sanitizer_instance
         self.resource = self._allocate_resource()
         self.instances: Dict[str, object] = {}
         for name in segment.elements:
@@ -116,6 +123,7 @@ class ProcessorRuntime:
             self.instances[name] = artifact.factory(
                 on_func_call=self._on_func_call
             )
+        self._attach_sanitizer()
         self.rpcs_processed = 0
         self.rpcs_dropped = 0
         #: overload-control drop taxonomy (repro.overload): sheds by the
@@ -196,6 +204,34 @@ class ProcessorRuntime:
             self.instances[name] = artifact.factory(
                 on_func_call=self._on_func_call
             )
+        self._attach_sanitizer()
+
+    def detach_sanitizer(self) -> None:
+        """Unhook this processor's replicas (it was superseded by a
+        re-plan; its frozen state must not feed the divergence check)."""
+        if self.sanitizer is None:
+            return
+        for name in self.instances:
+            self.sanitizer.detach(
+                name,
+                instance=self._sanitizer_instance,
+                tag=f"{self.segment.machine}/{self.segment.platform.value}",
+            )
+
+    def _attach_sanitizer(self) -> None:
+        """(Re-)hook every instance's state store into the sanitizer —
+        must follow any instance re-creation, or fresh state mutates
+        unobserved."""
+        if self.sanitizer is None:
+            return
+        for name, instance in self.instances.items():
+            self.sanitizer.attach(
+                instance.state,
+                element=name,
+                instance=self._sanitizer_instance,
+                tag=f"{self.segment.machine}/{self.segment.platform.value}",
+                module=instance,
+            )
 
     # -- execution -------------------------------------------------------------
 
@@ -229,41 +265,51 @@ class ProcessorRuntime:
         stage_costs: List[float] = []
         current = dict(rpc)
         executed = 0
-        for stage in stages:
-            member_costs: List[float] = []
-            for name in stage:
-                if name not in order:
-                    continue
-                self._pending_func_us = 0.0
-                instance = self.instances[name]
-                outputs = instance.process(dict(current), kind)
-                member_costs.append(
-                    self._element_cost_us(name, kind, self._pending_func_us)
-                )
-                executed += 1
-                self.element_processed[name] += 1
-                if not outputs:
-                    if kind == "request":
-                        result.dropped_by = name
-                        result.dropped_after_entry = (
-                            executed > 1
-                            or getattr(instance, "fused_progress", 0) > 0
-                        )
-                        self.element_dropped[name] += 1
-                        result.outputs = []
-                        stage_costs.append(self._stage_cost(member_costs))
-                        result.cpu_us = sum(stage_costs)
-                        result.extra_us = self._extra_us(len(order))
-                        return result
-                    # a dropped response degenerates to forwarding; keep
-                    # the current tuple (responses are not re-aborted)
-                    outputs = [dict(current)]
-                forward = outputs[0]
-                for extra in outputs[1:]:
-                    result.mirrored += 1
-                    del extra  # mirrored copies terminate at a shadow sink
-                current = forward
-            stage_costs.append(self._stage_cost(member_costs))
+        if self.sanitizer is not None:
+            # the whole segment walk below is synchronous (no yields), so
+            # a single enter/exit bracket ties every mutation to this RPC
+            self.sanitizer.enter(
+                rpc.get("rpc_id"), scope=self._sanitizer_instance
+            )
+        try:
+            for stage in stages:
+                member_costs: List[float] = []
+                for name in stage:
+                    if name not in order:
+                        continue
+                    self._pending_func_us = 0.0
+                    instance = self.instances[name]
+                    outputs = instance.process(dict(current), kind)
+                    member_costs.append(
+                        self._element_cost_us(name, kind, self._pending_func_us)
+                    )
+                    executed += 1
+                    self.element_processed[name] += 1
+                    if not outputs:
+                        if kind == "request":
+                            result.dropped_by = name
+                            result.dropped_after_entry = (
+                                executed > 1
+                                or getattr(instance, "fused_progress", 0) > 0
+                            )
+                            self.element_dropped[name] += 1
+                            result.outputs = []
+                            stage_costs.append(self._stage_cost(member_costs))
+                            result.cpu_us = sum(stage_costs)
+                            result.extra_us = self._extra_us(len(order))
+                            return result
+                        # a dropped response degenerates to forwarding; keep
+                        # the current tuple (responses are not re-aborted)
+                        outputs = [dict(current)]
+                    forward = outputs[0]
+                    for extra in outputs[1:]:
+                        result.mirrored += 1
+                        del extra  # mirrored copies terminate at a shadow sink
+                    current = forward
+                stage_costs.append(self._stage_cost(member_costs))
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.exit()
         result.outputs = [current]
         result.cpu_us = sum(stage_costs)
         result.extra_us = self._extra_us(len(order))

@@ -1,8 +1,22 @@
 """Element state: tables with snapshot, split, merge, and delta logs."""
 
-from .table import Delta, Row, StateStore, StateTable
+from .table import (
+    Delta,
+    Row,
+    SanitizerViolation,
+    StateSanitizer,
+    StateStore,
+    StateTable,
+)
 
-__all__ = ["Delta", "Row", "StateStore", "StateTable"]
+__all__ = [
+    "Delta",
+    "Row",
+    "SanitizerViolation",
+    "StateSanitizer",
+    "StateStore",
+    "StateTable",
+]
 
 from .migration import MigrationReport, MigrationTiming, Migrator
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..dsl.ast_nodes import StateDecl
 from ..errors import StateError
@@ -65,6 +65,10 @@ class StateTable:
         self._by_key: Dict[Tuple[object, ...], Row] = {}
         self._rows: List[Row] = []  # for bag / append-only tables
         self._delta_log: Optional[List[Delta]] = None
+        #: optional shadow observer (:class:`StateSanitizer` binds one per
+        #: attached replica); mirrors the delta-log idiom — mutation paths
+        #: notify it with before/after rows, migration replay does not
+        self.observer: Optional["_TableObserver"] = None
 
     # -- basics -----------------------------------------------------------
 
@@ -117,11 +121,15 @@ class StateTable:
 
     def insert(self, row: Row) -> None:
         row = dict(self._check_row(dict(row)))
+        previous: Optional[Row] = None
         if self.keyed:
+            previous = self._by_key.get(self._key_of(row))
             self._by_key[self._key_of(row)] = row
         else:
             self._rows.append(row)
         self._log(Delta.of("insert", row))
+        if self.observer is not None:
+            self.observer.on_insert(self, row, previous)
 
     def insert_values(self, values: Sequence[object]) -> None:
         """Insert a positional row (INSERT INTO ... VALUES)."""
@@ -153,10 +161,13 @@ class StateTable:
                 raise StateError(
                     f"table {self.name!r}: updating key columns is not allowed"
                 )
+            before = dict(row)
             row.update(new_values)
             self._check_row(row)
             changed += 1
             self._log(Delta.of("update", row))
+            if self.observer is not None and before != row:
+                self.observer.on_update(self, before, dict(row))
         return changed
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
@@ -168,6 +179,8 @@ class StateTable:
             doomed = [k for k, row in self._by_key.items() if predicate(row)]
             for key in doomed:
                 self._log(Delta.of("delete", self._by_key[key]))
+                if self.observer is not None:
+                    self.observer.on_delete(self, self._by_key[key])
                 del self._by_key[key]
             removed = len(doomed)
         else:
@@ -175,6 +188,8 @@ class StateTable:
             for row in self._rows:
                 if predicate(row):
                     self._log(Delta.of("delete", row))
+                    if self.observer is not None:
+                        self.observer.on_delete(self, row)
                     removed += 1
                 else:
                     kept.append(row)
@@ -297,3 +312,352 @@ class StateStore:
         for name, rows in snapshot["tables"].items():  # type: ignore[union-attr]
             self.table(name).load_snapshot(rows)
         self.vars.update(snapshot["vars"])  # type: ignore[arg-type]
+
+
+# -- shadow sanitizer (exactly-once / divergence checking) -----------------
+#
+# The static side (repro.analysis.effects + the ADN700 rule family) proves
+# per-mutation-site idempotence and replica convergence. The sanitizer is
+# the dynamic half of that contract: attached to element replicas during
+# chaos/overload trials, it watches every state mutation with its RPC
+# context and flags
+#
+# * **duplicate non-idempotent application** (maps to ADN700): a second
+#   attempt of one logical RPC — attempts share an ``rpc_id`` — changed
+#   state a prior attempt already changed, and the change is neither an
+#   idempotent re-apply (same row content) nor rpc_id-keyed (dedup-able
+#   downstream);
+# * **cross-replica divergence** (maps to ADN702): replicas of one element
+#   instance disagree on read-modify-write state after the trial.
+#
+# Chains the analysis proves clean must run sanitizer-silent; every
+# violation the sanitizer raises must map to a static ADN700-family
+# finding (tests/test_sanitizer.py pins both directions).
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One dynamic exactly-once/divergence violation."""
+
+    rule: str  # the static rule family it maps to: "ADN700" | "ADN702"
+    element: str
+    target: str  # "table:<name>" or "var:<name>"
+    detail: str
+    rpc_id: object = None
+    attempt: int = 0
+    tag: str = ""  # replica tag that observed it
+
+    def describe(self) -> str:
+        where = f"{self.element}/{self.target}"
+        if self.rule == "ADN702":
+            return f"[{self.rule}] {where}: {self.detail}"
+        return (
+            f"[{self.rule}] {where}: attempt {self.attempt} of rpc "
+            f"{self.rpc_id!r} — {self.detail}"
+        )
+
+
+class _TableObserver:
+    """Binds one table's mutation stream to the sanitizer with its
+    replica identity (element, instance group, tag)."""
+
+    def __init__(self, sanitizer: "StateSanitizer", element: str, instance: str, tag: str):
+        self._sanitizer = sanitizer
+        self._element = element
+        self._instance = instance
+        self._tag = tag
+
+    def on_insert(self, table: StateTable, row: Row, previous: Optional[Row]) -> None:
+        if table.keyed and previous == row:
+            return  # idempotent re-apply: the upsert changed nothing
+        self._sanitizer._on_mutation(
+            element=self._element,
+            tag=self._tag,
+            target=f"table:{table.name}",
+            rmw=False,
+            rpc_keyable=True,
+            values=tuple(row.values()),
+            detail=(
+                f"duplicate append to table {table.name!r} without an "
+                "rpc_id column (a retry double-records)"
+                if not table.keyed
+                else f"duplicate keyed insert into table {table.name!r} "
+                "wrote different content (non-idempotent set)"
+            ),
+        )
+
+    def on_update(self, table: StateTable, before: Row, after: Row) -> None:
+        self._sanitizer._on_mutation(
+            element=self._element,
+            tag=self._tag,
+            target=f"table:{table.name}",
+            rmw=True,
+            rpc_keyable=False,
+            values=(),
+            detail=(
+                f"duplicate update of table {table.name!r} changed a row "
+                f"again ({before} -> {after}); the update is not "
+                "idempotent under retries"
+            ),
+        )
+
+    def on_delete(self, table: StateTable, row: Row) -> None:
+        self._sanitizer._on_mutation(
+            element=self._element,
+            tag=self._tag,
+            target=f"table:{table.name}",
+            rmw=True,
+            rpc_keyable=False,
+            values=(),
+            detail=(
+                f"duplicate delete from table {table.name!r} removed "
+                "rows again on a retried attempt"
+            ),
+        )
+
+
+class _SanitizedVars(dict):
+    """Var dict that notifies the sanitizer on every value change.
+
+    Compiled element modules hold a direct reference to their var dict
+    (``_vars[name] = value``), so the sanitizer swaps this subclass in
+    on both the store and the instance when attaching.
+    """
+
+    def __init__(self, data: Dict[str, object], sanitizer: "StateSanitizer",
+                 element: str, instance: str, tag: str):
+        super().__init__(data)
+        self._sanitizer = sanitizer
+        self._element = element
+        self._instance = instance
+        self._tag = tag
+
+    def __setitem__(self, key: str, value: object) -> None:
+        changed = key not in self or self[key] != value
+        super().__setitem__(key, value)
+        if changed:
+            self._sanitizer._on_mutation(
+                element=self._element,
+                tag=self._tag,
+                target=f"var:{key}",
+                rmw=True,
+                rpc_keyable=False,
+                values=(),
+                detail=(
+                    f"duplicate write to var {key!r} changed its value "
+                    "again on a retried attempt"
+                ),
+            )
+
+
+class StateSanitizer:
+    """Shadow checker recording (rpc_id, mutation-site, key) at runtime.
+
+    Wiring (see :mod:`repro.runtime.mrpc`): the stack calls
+    :meth:`note_attempt` once per attempt entering ``call_raw`` (attempts
+    of one logical RPC share an ``rpc_id``), processors bracket element
+    execution with :meth:`enter` / :meth:`exit` so mutations carry their
+    RPC context, and :meth:`attach` hooks an element replica's tables and
+    vars. :meth:`check_divergence` compares replicas of one element
+    instance after a trial.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.violations: List[SanitizerViolation] = []
+        #: (scope, rpc_id) -> attempts seen at the stack boundary. The
+        #: scope is the issuing stack's identity: each stack's retry
+        #: wrapper numbers rpc_ids from the same base, so two edges can
+        #: reuse one id value for unrelated logical calls
+        self._attempts: Dict[Tuple[str, object], int] = {}
+        #: active rpc context: (scope, rpc_id, attempt) or None
+        self._ctx: Optional[Tuple[str, object, int]] = None
+        #: ((scope, rpc_id), element, target) -> attempts that changed it
+        self._mutated: Dict[Tuple[Tuple[str, object], str, str], Set[int]] = {}
+        #: (element, target) mutated read-modify-write style at runtime —
+        #: the only targets the divergence check compares (append logs
+        #: and partitioned caches legitimately differ per replica)
+        self._rmw_targets: Set[Tuple[str, str]] = set()
+        #: attached replicas: (element, instance, tag) -> StateStore
+        self._stores: Dict[Tuple[str, str, str], "StateStore"] = {}
+        self.retries_observed = 0
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, store: "StateStore", element: str,
+               instance: str = "", tag: str = "",
+               module: Optional[object] = None) -> None:
+        """Hook one element replica's state. ``instance`` groups true
+        replicas of one deployment (replicas share it, independent
+        per-edge instances do not); ``tag`` names the replica. Pass the
+        compiled ``module`` too so its direct var-dict reference is
+        swapped along with the store's."""
+        self._stores[(element, instance, tag)] = store
+        for table in store.tables.values():
+            table.observer = _TableObserver(self, element, instance, tag)
+        if not isinstance(store.vars, _SanitizedVars):
+            store.vars = _SanitizedVars(store.vars, self, element, instance, tag)
+        if module is not None:
+            module.vars = store.vars  # type: ignore[attr-defined]
+
+    def detach(self, element: str, instance: str = "", tag: str = "") -> None:
+        """Unhook one replica (e.g. a processor superseded by a failover
+        re-plan) so its frozen state never enters the divergence check."""
+        store = self._stores.pop((element, instance, tag), None)
+        if store is not None:
+            for table in store.tables.values():
+                table.observer = None
+
+    def note_attempt(self, rpc_id: object, scope: str = "") -> int:
+        """Record one attempt entering a stack's raw path; returns its
+        index (attempt 2+ of a (scope, rpc_id) is a duplicate
+        execution). ``scope`` names the issuing stack."""
+        key = (scope, rpc_id)
+        count = self._attempts.get(key, 0) + 1
+        self._attempts[key] = count
+        return count
+
+    def note_retry(self, rpc_id: object) -> None:
+        """A retry filter re-issued this rpc_id (telemetry cross-check)."""
+        self.retries_observed += 1
+
+    def enter(self, rpc_id: object, scope: str = "") -> None:
+        """Begin element execution for ``rpc_id`` (synchronous section)."""
+        if rpc_id is None:
+            self._ctx = None
+            return
+        self._ctx = (scope, rpc_id, self._attempts.get((scope, rpc_id), 1))
+
+    def exit(self) -> None:
+        self._ctx = None
+
+    def reset(self) -> None:
+        """Clear per-trial records (violations, attempts, mutation log);
+        attached stores stay attached."""
+        self.violations = []
+        self._attempts = {}
+        self._ctx = None
+        self._mutated = {}
+        self._rmw_targets = set()
+        self.retries_observed = 0
+
+    # -- mutation stream -----------------------------------------------------
+
+    def _on_mutation(self, element: str, tag: str, target: str, rmw: bool,
+                     rpc_keyable: bool, values: Tuple[object, ...],
+                     detail: str) -> None:
+        if not self.enabled:
+            return
+        if rmw:
+            self._rmw_targets.add((element, target))
+        if self._ctx is None:
+            return  # init / migration / controller mutation: no rpc context
+        scope, rpc_id, attempt = self._ctx
+        if rpc_keyable and rpc_id in values:
+            # the written row records the rpc_id: duplicates are
+            # dedup-able downstream — exactly the static rpc_keyed proof
+            return
+        site = ((scope, rpc_id), element, target)
+        earlier = self._mutated.setdefault(site, set())
+        duplicate = any(prior != attempt for prior in earlier)
+        earlier.add(attempt)
+        if duplicate:
+            self.violations.append(
+                SanitizerViolation(
+                    rule="ADN700",
+                    element=element,
+                    target=target,
+                    detail=detail,
+                    rpc_id=rpc_id,
+                    attempt=attempt,
+                    tag=tag,
+                )
+            )
+
+    # -- post-trial divergence check ----------------------------------------
+
+    def check_divergence(self) -> List[SanitizerViolation]:
+        """Compare replicas of each element instance on the targets that
+        were RMW-mutated at runtime; appends (and returns) ADN702-family
+        violations for replicas that disagree."""
+        found: List[SanitizerViolation] = []
+        groups: Dict[Tuple[str, str], List[Tuple[str, "StateStore"]]] = {}
+        for (element, instance, tag), store in self._stores.items():
+            groups.setdefault((element, instance), []).append((tag, store))
+        for (element, instance), replicas in sorted(groups.items()):
+            if len({tag for tag, _ in replicas}) < 2:
+                continue
+            targets = sorted(
+                target for (elem, target) in self._rmw_targets
+                if elem == element
+            )
+            for target in targets:
+                kind, name = target.split(":", 1)
+                disagreement = self._replica_disagreement(
+                    kind, name, replicas
+                )
+                if disagreement is None:
+                    continue
+                found.append(
+                    SanitizerViolation(
+                        rule="ADN702",
+                        element=element,
+                        target=target,
+                        detail=(
+                            f"replicas of instance {instance or element!r} "
+                            f"diverged: {disagreement}"
+                        ),
+                    )
+                )
+        self.violations.extend(found)
+        return found
+
+    @staticmethod
+    def _replica_disagreement(
+        kind: str, name: str, replicas: List[Tuple[str, "StateStore"]]
+    ) -> Optional[str]:
+        if kind == "var":
+            values = [(tag, store.vars.get(name)) for tag, store in replicas]
+            if len({repr(value) for _, value in values}) > 1:
+                return f"var {name!r} = " + ", ".join(
+                    f"{value!r} on {tag!r}" for tag, value in values
+                )
+            return None
+        # table: keyed tables disagree when a key present on several
+        # replicas maps to different rows; bags compare as multisets
+        keyed = all(
+            name in store.tables and store.tables[name].keyed
+            for _, store in replicas
+        )
+        if keyed:
+            by_tag = {
+                tag: {
+                    tuple(row[col] for col in store.tables[name].key_columns):
+                    tuple(sorted(row.items()))
+                    for row in store.tables[name].rows()
+                }
+                for tag, store in replicas
+            }
+            tags = sorted(by_tag)
+            for i, tag_a in enumerate(tags):
+                for tag_b in tags[i + 1:]:
+                    shared = set(by_tag[tag_a]) & set(by_tag[tag_b])
+                    for key in sorted(shared, key=repr):
+                        if by_tag[tag_a][key] != by_tag[tag_b][key]:
+                            return (
+                                f"table {name!r} key {key!r}: "
+                                f"{dict(by_tag[tag_a][key])} on {tag_a!r} vs "
+                                f"{dict(by_tag[tag_b][key])} on {tag_b!r}"
+                            )
+            return None
+        contents = {
+            tag: sorted(
+                (tuple(sorted(row.items())) for row in store.tables[name].rows()),
+                key=repr,
+            )
+            for tag, store in replicas
+            if name in store.tables
+        }
+        if len({repr(rows) for rows in contents.values()}) > 1:
+            return f"table {name!r} contents differ across replicas"
+        return None

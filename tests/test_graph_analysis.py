@@ -543,3 +543,273 @@ class TestCliExitCodeParity:
         check_code = main(["check", DEMO_DSL, "--graph", str(bad)])
         capsys.readouterr()
         assert graph_code == check_code == 1
+
+
+NONDET_ELEMENTS = """
+element Drifting {
+    state cache_tab (obj_id: int KEY, stamp: float);
+    on request {
+        INSERT INTO cache_tab SELECT input.obj_id, now() FROM input;
+        SELECT * FROM input;
+    }
+    on response { SELECT * FROM input; }
+}
+element SeqEcho {
+    var seq: int = 0;
+    on request {
+        SET seq = seq + 1;
+        SELECT input.*, seq AS obj_id FROM input;
+    }
+    on response { SELECT * FROM input; }
+}
+"""
+
+
+def nondet_program():
+    return validate_program(
+        load_stdlib().merged(parse(NONDET_ELEMENTS)), schema=MESH_SCHEMA
+    )
+
+
+class TestAdn700Effects:
+    """Spec-side ADN700 family: effect summaries against topology."""
+
+    def test_double_charge_example_fires_adn700(self):
+        graph, diags = load_graph_spec("examples/double_charge.graph.json")
+        assert graph is not None and diags == []
+        analysis = analyze(graph)
+        errors = [
+            d for d in analysis.diagnostics if d.code == "ADN700"
+        ]
+        assert errors, "Metrics under a retrying edge must be an error"
+        assert {d.element for d in errors} == {"Metrics"}
+        assert all(d.severity is Severity.ERROR for d in errors)
+
+    def test_double_charge_fires_adn701_on_fanout(self):
+        graph, _ = load_graph_spec("examples/double_charge.graph.json")
+        warnings = [
+            d for d in analyze(graph).diagnostics if d.code == "ADN701"
+        ]
+        assert any(d.element == "GlobalQuota" for d in warnings)
+
+    def test_double_charge_example_fails_the_cli_gate(self, capsys):
+        assert main([
+            "graph", "examples/double_charge.graph.json",
+            "--check", "--no-place",
+        ]) == 1
+        assert "ADN700" in capsys.readouterr().out
+
+    def test_non_retrying_edge_is_exempt_from_adn700(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("a", "b", elements=("Metrics",), deadline_budget_ms=10.0)
+            .build()
+        )
+        assert "ADN700" not in codes(analyze(graph).diagnostics)
+
+    def test_rpc_keyed_logging_never_fires_adn700(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("a", "b", elements=("Logging",), deadline_budget_ms=10.0,
+                  max_attempts=3, per_attempt_timeout_ms=3.0, breaker=True)
+            .build()
+        )
+        assert "ADN700" not in codes(analyze(graph).diagnostics)
+
+    def test_adn702_on_nondeterministic_keyed_insert(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("a", "b", elements=("Drifting",), deadline_budget_ms=10.0)
+            .build()
+        )
+        findings = [
+            d
+            for d in analyze(graph, nondet_program()).diagnostics
+            if d.code == "ADN702"
+        ]
+        assert len(findings) == 1
+        assert findings[0].element == "Drifting"
+        assert "diverge" in findings[0].message
+
+    def test_adn703_on_retry_visible_read(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("a", "b", elements=("SeqEcho",), deadline_budget_ms=10.0,
+                  max_attempts=3, per_attempt_timeout_ms=3.0, breaker=True)
+            .build()
+        )
+        findings = [
+            d
+            for d in analyze(graph, nondet_program()).diagnostics
+            if d.code == "ADN703"
+        ]
+        assert len(findings) == 1
+        assert findings[0].element == "SeqEcho"
+        assert "'obj_id'" in findings[0].message
+
+    def test_adn703_quiet_without_retries(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("a", "b", elements=("SeqEcho",), deadline_budget_ms=10.0)
+            .build()
+        )
+        assert "ADN703" not in codes(
+            analyze(graph, nondet_program()).diagnostics
+        )
+
+    def test_demo_graphs_have_no_adn700_errors(self):
+        for graph in (bookinfo_graph(), hotel_mesh_graph()):
+            errors = [
+                d
+                for d in analyze(graph).diagnostics
+                if d.code == "ADN700" and d.severity is Severity.ERROR
+            ]
+            assert errors == []
+
+
+class TestAdn604EntryEdges:
+    """Satellite edge case: hash_fields declared on an entry edge."""
+
+    def test_unknown_hash_field_on_entry_edge(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("gw", "b", elements=("Logging",), deadline_budget_ms=10.0,
+                  admission=True, hash_fields=("session",))
+            .build()
+        )
+        findings = [
+            d for d in analyze(graph).diagnostics if d.code == "ADN604"
+        ]
+        assert any("'session'" in d.message for d in findings)
+
+    def test_entry_fanout_with_disagreeing_hashes(self):
+        """The sibling-coherence check applies at the entry service too:
+        its fan-out legs shed against the same inbound request."""
+        graph = (
+            GraphBuilder("g")
+            .edge("gw", "b", elements=("Logging",), deadline_budget_ms=10.0,
+                  admission=True, hash_fields=("username",))
+            .edge("gw", "c", elements=("Logging",), deadline_budget_ms=10.0,
+                  admission=True, hash_fields=("obj_id",))
+            .build()
+        )
+        findings = [
+            d for d in analyze(graph).diagnostics if d.code == "ADN604"
+        ]
+        assert len(findings) == 1
+        assert findings[0].element == "gw"
+
+    def test_valid_hash_on_single_entry_edge_is_clean(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("gw", "b", elements=("Logging",), deadline_budget_ms=10.0,
+                  admission=True, hash_fields=("username",))
+            .build()
+        )
+        assert "ADN604" not in codes(analyze(graph).diagnostics)
+
+
+class TestAdn605ParallelFanout:
+    """Satellite edge case: RMW element on two parallel fan-out edges
+    of ONE parent (vs the sequential two-hop placement)."""
+
+    def test_parallel_siblings_fire_once_naming_both_edges(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("parent", "left", elements=("GlobalQuota",),
+                  deadline_budget_ms=10.0)
+            .edge("parent", "right", elements=("GlobalQuota",),
+                  deadline_budget_ms=10.0)
+            .build()
+        )
+        findings = [
+            d for d in analyze(graph).diagnostics if d.code == "ADN605"
+        ]
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "parent->left" in message and "parent->right" in message
+
+    def test_sequential_hops_fire_too(self):
+        graph = (
+            GraphBuilder("g")
+            .edge("a", "b", elements=("GlobalQuota",),
+                  deadline_budget_ms=10.0)
+            .edge("b", "c", elements=("GlobalQuota",),
+                  deadline_budget_ms=10.0)
+            .build()
+        )
+        findings = [
+            d for d in analyze(graph).diagnostics if d.code == "ADN605"
+        ]
+        assert len(findings) == 1
+
+    def test_parallel_fanout_also_raises_adn701(self):
+        """The same placement is order-dependent at runtime: the
+        effect-level ADN701 fires alongside the state-copy ADN605."""
+        graph = (
+            GraphBuilder("g")
+            .edge("parent", "left", elements=("GlobalQuota",),
+                  deadline_budget_ms=10.0)
+            .edge("parent", "right", elements=("GlobalQuota",),
+                  deadline_budget_ms=10.0)
+            .build()
+        )
+        seen = set(codes(analyze(graph).diagnostics))
+        assert {"ADN605", "ADN701"} <= seen
+
+
+class TestDiagnosticHygiene:
+    """Satellite: cross-variant dedupe + stable output ordering."""
+
+    def test_analysis_output_is_sorted_and_exact_dupe_free(self):
+        from repro.lint.diagnostics import sort_key
+
+        graph, _ = load_graph_spec("examples/retry_storm.graph.json")
+        diagnostics = analyze(graph).diagnostics
+        assert [sort_key(d) for d in diagnostics] == sorted(
+            sort_key(d) for d in diagnostics
+        )
+        exact = [
+            (d.path, d.line, d.column, d.code, d.element, d.message)
+            for d in diagnostics
+        ]
+        assert len(exact) == len(set(exact))
+
+    def test_cross_variant_codes_collapse_per_element(self):
+        graph, _ = load_graph_spec("examples/retry_storm.graph.json")
+        diagnostics = analyze(graph).diagnostics
+        from repro.lint.diagnostics import CROSS_VARIANT_CODES
+
+        keyed = [
+            (d.code, d.element)
+            for d in diagnostics
+            if d.code in CROSS_VARIANT_CODES and d.element
+        ]
+        assert len(keyed) == len(set(keyed))
+
+    def test_dedupe_prefers_higher_severity_variant(self):
+        from repro.lint.diagnostics import Diagnostic, dedupe_diagnostics
+
+        dsl_side = Diagnostic(
+            code="ADN601", severity=Severity.WARNING,
+            message="dsl wording", path="a.adn", element="storm",
+        )
+        spec_side = Diagnostic(
+            code="ADN601", severity=Severity.ERROR,
+            message="spec wording", path="a.adn", element="storm",
+        )
+        kept = dedupe_diagnostics([dsl_side, spec_side])
+        assert kept == [spec_side]
+
+    def test_unrelated_codes_never_collapse(self):
+        from repro.lint.diagnostics import Diagnostic, dedupe_diagnostics
+
+        first = Diagnostic(
+            code="ADN700", severity=Severity.ERROR,
+            message="edge one", path="g.json", element="Metrics",
+        )
+        second = Diagnostic(
+            code="ADN700", severity=Severity.ERROR,
+            message="edge two", path="g.json", element="Metrics",
+        )
+        assert len(dedupe_diagnostics([first, second])) == 2

@@ -40,8 +40,66 @@ class TestRuleCatalog:
         assert {
             "ADN201", "ADN202", "ADN203", "ADN204", "ADN205",
             "ADN301", "ADN302", "ADN303", "ADN310", "ADN401", "ADN402",
-            "ADN403", "ADN404",
+            "ADN403", "ADN404", "ADN405",
+            "ADN700", "ADN701", "ADN702", "ADN703",
         } <= codes
+
+    def test_every_registered_rule_is_in_the_docs_table(self):
+        """The consolidated catalog in docs/linting.md must stay in
+        lockstep with the registry."""
+        with open("docs/linting.md") as handle:
+            docs = handle.read()
+        table_rows = {
+            line.split("|")[1].strip()
+            for line in docs.splitlines()
+            if line.startswith("| ADN")
+        }
+        missing = [
+            r.code for r in all_rules() if r.code not in table_rows
+        ]
+        assert missing == [], (
+            f"rules missing from the docs/linting.md catalog: {missing}"
+        )
+
+
+class TestExplain:
+    def test_every_registered_rule_has_an_example(self):
+        from repro.lint.explain import missing_examples
+
+        assert missing_examples() == []
+
+    def test_explain_text_carries_code_severity_and_doc(self):
+        from repro.lint.explain import explain_rule
+
+        for registered in all_rules():
+            text = explain_rule(registered.code)
+            assert text is not None
+            assert registered.code in text
+            assert registered.severity.value in text
+            assert "Minimal triggering example:" in text
+
+    def test_explain_is_case_insensitive(self):
+        from repro.lint.explain import explain_rule
+
+        assert explain_rule("adn301") is not None
+
+    def test_unknown_code_returns_none(self):
+        from repro.lint.explain import explain_rule
+
+        assert explain_rule("ADN999") is None
+
+    def test_cli_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "ADN700"]) == 0
+        out = capsys.readouterr().out
+        assert "ADN700" in out and "non-idempotent-under-retry" in out
+
+    def test_cli_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "ADN999"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_explain_needs_no_files(self, capsys):
+        """--explain must not require positional lint targets."""
+        assert main(["lint", "--explain", "ADN301"]) == 0
 
 
 class TestFrontEndCapture:
