@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench faults overload graph graph-check sanitize analyze examples check-all lint typecheck loc
+.PHONY: install test bench faults overload offload graph graph-check sanitize analyze examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -48,6 +48,14 @@ overload:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_overload.py -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_overload.py -q -k smoke
 	PYTHONPATH=src $(PYTHON) -m repro overload --duration 0.05
+
+offload:
+	@# NIC/switch offload smoke: the split-chain/device unit suite, the
+	@# NIC-shed-vs-server-shed goodput benchmark (smoke endpoints), and
+	@# the offload CLI demo
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_offload.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_offload.py -q -k smoke
+	PYTHONPATH=src $(PYTHON) -m repro offload --duration 0.05
 
 graph:
 	@# service-graph layer: topology validation + lint (ADN405) over the

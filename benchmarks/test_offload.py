@@ -1,0 +1,144 @@
+"""Shed-point economics — the NIC-offload experiment (ROADMAP item 5).
+
+Drive the same protected two-service mesh at 0.5x..3x nominal capacity
+twice: once with the whole ``Acl, Logging, Compression`` chain in the
+backend host's engine (shed at server), once with the edge declaring
+``offload="nic"`` so split-chain compilation moves the device-legal
+``Acl, Logging`` prefix onto the backend's SmartNIC and admission sheds
+in front of the host (shed at NIC).
+
+Acceptance shape: at 3x offered load the NIC-shedding mesh delivers
+strictly higher goodput than host-only shedding, and host CPU-seconds
+per admitted RPC drop (the host stops burning engine cycles on RPCs it
+then rejects). Everything is seeded — the same config reproduces the
+same comparison bit for bit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.offload.sweep import (
+    OffloadSweepConfig,
+    format_comparison,
+    run_offload_comparison,
+    run_offload_point,
+)
+
+from bench_harness import bench_assert, print_table
+
+CONFIG = OffloadSweepConfig(
+    multipliers=(0.5, 1.0, 2.0, 3.0), duration_s=0.2
+)
+
+#: reduced shape for ``make offload`` / ``-k smoke`` — endpoints only
+SMOKE_CONFIG = dataclasses.replace(
+    CONFIG, multipliers=(0.5, 3.0), duration_s=0.1
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_offload_comparison(CONFIG)
+
+
+def _by_multiplier(points):
+    return {point.multiplier: point for point in points}
+
+
+def test_goodput_table(comparison, benchmark):
+    def report():
+        def cell(row, col):
+            multiplier = float(col.split("x")[0])
+            return _by_multiplier(comparison[row])[multiplier].goodput_rps
+
+        print(format_comparison(comparison))
+        return print_table(
+            "goodput (rps) vs offered load, by shed point",
+            rows=["server", "nic"],
+            columns=[f"{m}x" for m in CONFIG.multipliers],
+            cell=cell,
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_nic_shedding_beats_host_shedding_at_3x(comparison, benchmark):
+    def check():
+        server = _by_multiplier(comparison["server"])[3.0]
+        nic = _by_multiplier(comparison["nic"])[3.0]
+        assert nic.goodput_rps > server.goodput_rps, (
+            f"NIC shed point delivered {nic.goodput_rps:.0f} rps vs "
+            f"{server.goodput_rps:.0f} host-only — expected strictly "
+            "higher mesh goodput"
+        )
+        # the mechanism: overload sheds actually moved into the network
+        assert nic.sheds_at_nic > 0
+        assert server.sheds_at_nic == 0
+        return nic.goodput_rps / max(server.goodput_rps, 1.0)
+
+    bench_assert(benchmark, check)
+
+
+def test_host_cpu_per_admitted_rpc_drops(comparison, benchmark):
+    def check():
+        server = _by_multiplier(comparison["server"])[3.0]
+        nic = _by_multiplier(comparison["nic"])[3.0]
+        assert nic.host_cpu_ms_per_ok < server.host_cpu_ms_per_ok, (
+            f"host CPU per admitted RPC was {nic.host_cpu_ms_per_ok:.4f}"
+            f" ms with NIC shedding vs {server.host_cpu_ms_per_ok:.4f}"
+            " host-only"
+        )
+        # and the NIC is genuinely doing the refused work instead
+        assert nic.nic_cpu_s > 0.0
+        return server.host_cpu_ms_per_ok / nic.host_cpu_ms_per_ok
+
+    bench_assert(benchmark, check)
+
+
+def test_low_load_parity(comparison, benchmark):
+    """Below saturation the two variants admit the same traffic — the
+    offload changes where work runs, not what the mesh answers."""
+
+    def check():
+        server = _by_multiplier(comparison["server"])[0.5]
+        nic = _by_multiplier(comparison["nic"])[0.5]
+        assert server.issued == nic.issued  # same seeded arrivals
+        assert server.ok == server.issued
+        assert nic.ok == nic.issued
+        return nic.ok
+
+    bench_assert(benchmark, check)
+
+
+def test_comparison_is_deterministic(comparison, benchmark):
+    """Bit-identical under a fixed seed: re-running a point reproduces
+    every counter and latency digit."""
+
+    def check():
+        again = run_offload_point(3.0, "nic", config=CONFIG)
+        assert again.to_dict() == (
+            _by_multiplier(comparison["nic"])[3.0].to_dict()
+        )
+        return again.goodput_rps
+
+    bench_assert(benchmark, check)
+
+
+def test_offload_smoke(benchmark):
+    """Endpoints-only variant for ``make offload`` (select with
+    ``-k smoke``): at 3x the NIC shed point wins on both goodput and
+    host CPU per admitted RPC."""
+
+    def check():
+        comparison = run_offload_comparison(SMOKE_CONFIG)
+        print(format_comparison(comparison))
+        server = comparison["server"][-1]
+        nic = comparison["nic"][-1]
+        assert nic.offloaded_prefix == ["Acl", "Logging"]
+        assert nic.goodput_rps > server.goodput_rps
+        assert nic.host_cpu_ms_per_ok < server.host_cpu_ms_per_ok
+        assert nic.sheds_at_nic > 0
+        return nic.goodput_rps
+
+    bench_assert(benchmark, check)

@@ -12,6 +12,9 @@ Commands:
 * ``overload`` — goodput sweep past saturation: the unprotected
   baseline's metastable collapse vs the protected stack's graceful
   degradation (repro.overload);
+* ``offload`` — shed-point comparison: the same protected mesh with
+  host-only shedding vs a SmartNIC running the chain's offloadable
+  prefix and shedding in front of the host (repro.offload);
 * ``graph``   — load/validate a service-graph topology spec
   (repro.graph), print every edge with its attached chain, the
   topology lint findings (ADN405), and the solved cross-service
@@ -68,6 +71,23 @@ def _load(path: str, schema: RpcSchema, include_stdlib: bool = True):
     return validate_program(program, schema=schema)
 
 
+def _write_bench_json(path, benchmark, seed, config, results) -> None:
+    """One stable on-disk shape for every benchmark command's ``--json``:
+    consumers key on ``benchmark`` and ``schema_version`` and treat
+    ``config``/``results`` as the command's own (versioned) payload."""
+    payload = {
+        "benchmark": benchmark,
+        "schema_version": 1,
+        "seed": seed,
+        "config": config,
+        "results": results,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
 def _fails(diagnostics, threshold) -> bool:
     """The one exit-code rule every subcommand shares: nonzero exactly
     when some diagnostic is at least ``--fail-on`` severe. ``lint``,
@@ -88,6 +108,7 @@ def _graph_spec_diagnostics(args, program, schema, spec: str):
     from .graph.lint import (
         check_chain_resolution,
         check_deadline_propagation,
+        check_offload_capacity,
         load_graph_spec,
     )
     from .lint import Severity
@@ -101,6 +122,9 @@ def _graph_spec_diagnostics(args, program, schema, spec: str):
         diagnostics = diagnostics + resolution
         diagnostics += check_deadline_propagation(graph, path=spec)
         if not resolution:
+            diagnostics += check_offload_capacity(
+                graph, program, schema, path=spec
+            )
             diagnostics += analyze_graph(
                 graph, program, schema, path=spec
             ).diagnostics
@@ -541,6 +565,52 @@ def cmd_faults(args) -> int:
           f"delta(s) lost with the crashed memory")
     print()
     report = result.report
+    if args.json:
+        _write_bench_json(
+            args.json,
+            "faults",
+            args.seed,
+            {
+                "rpcs": args.rpcs,
+                "concurrency": args.concurrency,
+                "table_rows": args.table_rows,
+                "events": [
+                    {
+                        "at_s": event.at_s,
+                        "kind": event.kind,
+                        "target": event.target,
+                        "duration_s": event.duration_s,
+                    }
+                    for event in result.fault_plan.events
+                ],
+            },
+            {
+                "issued": metrics.issued,
+                "completed": metrics.completed,
+                "aborted": metrics.aborted,
+                "rpcs_lost": result.stack.rpcs_lost,
+                "retries": stats.retries,
+                "timeouts": stats.timeouts,
+                "attempts": stats.attempts,
+                "logical_calls": stats.logical_calls,
+                "amplification": round(stats.amplification(), 4),
+                "duplicate_server_executions": (
+                    result.stack.duplicate_server_executions
+                ),
+                "tail_writes_lost": result.checkpointer.tail_writes_lost,
+                "recovery": None if report is None else {
+                    "machine": report.machine,
+                    "unavailability_ms": report.unavailability_s * 1e3,
+                    "detection_latency_ms": (
+                        None if report.detection_latency_s is None
+                        else report.detection_latency_s * 1e3
+                    ),
+                    "rows_restored": report.rows_restored,
+                    "deltas_replayed": report.deltas_replayed,
+                    "elements_moved": list(report.elements_moved),
+                },
+            },
+        )
     if report is None:
         print("no recovery was triggered")
         return 1
@@ -579,6 +649,64 @@ def cmd_overload(args) -> int:
         f"{base_end / baseline_peak:7.1%} of its peak goodput, "
         f"protected keeps {prot_end / protected_peak:7.1%}"
     )
+    if args.json:
+        from dataclasses import asdict
+
+        _write_bench_json(
+            args.json,
+            "overload",
+            args.seed,
+            asdict(config),
+            {
+                "baseline": [asdict(point) for point in baseline],
+                "protected": [asdict(point) for point in protected],
+            },
+        )
+    return 0
+
+
+def cmd_offload(args) -> int:
+    from dataclasses import asdict
+
+    from .offload.sweep import (
+        SHED_POINTS,
+        OffloadSweepConfig,
+        format_comparison,
+        run_offload_comparison,
+    )
+
+    multipliers = tuple(
+        float(part) for part in args.multipliers.split(",") if part.strip()
+    )
+    config = OffloadSweepConfig(
+        multipliers=multipliers,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    results = run_offload_comparison(config)
+    print(format_comparison(results))
+    print()
+    at_max = multipliers[-1]
+    server_end = results["server"][-1]
+    nic_end = results["nic"][-1]
+    print(
+        f"at {at_max:.1f}x offered load: moving the shed point into the "
+        f"NIC lifts goodput {server_end.goodput_rps:.0f} -> "
+        f"{nic_end.goodput_rps:.0f} rps and cuts host CPU per admitted "
+        f"RPC {server_end.host_cpu_ms_per_ok:.3f} -> "
+        f"{nic_end.host_cpu_ms_per_ok:.3f} ms"
+    )
+    if args.json:
+        _write_bench_json(
+            args.json,
+            "offload",
+            args.seed,
+            asdict(config),
+            {
+                shed_at: [point.to_dict() for point in results[shed_at]]
+                for shed_at in SHED_POINTS
+            },
+        )
     return 0
 
 
@@ -587,6 +715,7 @@ def cmd_graph(args) -> int:
     from .graph.lint import (
         check_chain_resolution,
         check_deadline_propagation,
+        check_offload_capacity,
         load_graph_spec,
     )
     from .graph.placement import default_machine_pool
@@ -623,6 +752,10 @@ def cmd_graph(args) -> int:
         return 1 if failed else 0
     errors = check_chain_resolution(graph, program, schema, path=where)
     diagnostics = check_deadline_propagation(graph, path=where)
+    if not errors:
+        diagnostics = diagnostics + check_offload_capacity(
+            graph, program, schema, path=where
+        )
     analysis = None
     if args.check and not errors:
         from .analysis.graph import analyze_graph
@@ -700,6 +833,8 @@ def cmd_graph(args) -> int:
             knobs.append("admission")
         if edge.breaker:
             knobs.append("breaker")
+        if edge.offload is not None:
+            knobs.append(f"offload={edge.offload}")
         if not edge.required:
             knobs.append("optional")
         chain = " -> ".join(edge.elements) or "(no elements)"
@@ -810,7 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_.add_argument("file")
     compile_.add_argument("--element", help="compile only this element")
     compile_.add_argument(
-        "--emit", choices=["python", "ebpf", "p4", "wasm"],
+        "--emit", choices=["python", "ebpf", "nic", "p4", "wasm"],
         help="print generated source for this backend",
     )
     compile_.add_argument(
@@ -873,6 +1008,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-at", type=float, default=0.01, metavar="SECONDS",
         help="when the default plan crashes stats-host",
     )
+    faults.add_argument(
+        "--json", metavar="OUT",
+        help="also write the run's metrics as stable JSON",
+    )
     faults.set_defaults(func=cmd_faults)
 
     overload = sub.add_parser(
@@ -885,7 +1024,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     overload.add_argument("--duration", type=float, default=0.1)
     overload.add_argument("--seed", type=int, default=1)
+    overload.add_argument(
+        "--json", metavar="OUT",
+        help="also write the sweep points as stable JSON",
+    )
     overload.set_defaults(func=cmd_overload)
+
+    offload = sub.add_parser(
+        "offload",
+        help="shed-point comparison: host-only shedding vs a SmartNIC "
+        "running the chain's offloadable prefix",
+    )
+    offload.add_argument(
+        "--multipliers", default="0.5,1.0,2.0,3.0",
+        help="offered-load multiples of nominal capacity",
+    )
+    offload.add_argument("--duration", type=float, default=0.1)
+    offload.add_argument("--seed", type=int, default=1)
+    offload.add_argument(
+        "--json", metavar="OUT",
+        help="also write the comparison points as stable JSON",
+    )
+    offload.set_defaults(func=cmd_offload)
 
     graph = sub.add_parser(
         "graph",

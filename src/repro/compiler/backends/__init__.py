@@ -1,11 +1,13 @@
-"""Code-generation backends: python (executable, mRPC-style), ebpf, p4,
-wasm. ``make_backends`` builds one of each sharing a function registry."""
+"""Code-generation backends: python (executable, mRPC-style), ebpf, nic
+(eBPF subset under SmartNIC capacity limits), p4, wasm. ``make_backends``
+builds one of each sharing a function registry."""
 
 from typing import Dict
 
 from ...dsl.functions import DEFAULT_REGISTRY, FunctionRegistry
 from .base import Backend, CompiledArtifact, LegalityReport
 from .ebpf_backend import EbpfBackend
+from .nic_backend import NicBackend
 from .p4_backend import P4Backend
 from .python_backend import PythonBackend
 from .wasm_backend import WasmBackend
@@ -17,6 +19,7 @@ def make_backends(registry: FunctionRegistry = None) -> Dict[str, Backend]:
     backends = [
         PythonBackend(registry),
         EbpfBackend(registry),
+        NicBackend(registry),
         P4Backend(registry),
         WasmBackend(registry),
     ]
@@ -28,6 +31,7 @@ __all__ = [
     "CompiledArtifact",
     "EbpfBackend",
     "LegalityReport",
+    "NicBackend",
     "P4Backend",
     "PythonBackend",
     "WasmBackend",

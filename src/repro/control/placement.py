@@ -299,7 +299,7 @@ class PlacementSolver:
                 and self._switch_ok(name)
             ):
                 return 5
-            if "ebpf" in legal and (
+            if ("ebpf" in legal or "nic" in legal) and (
                 self.request.cluster.smartnics
                 or self.request.cluster.kernel_offload
             ):

@@ -82,6 +82,9 @@ KNOWN_META_KEYS = frozenset(
         "priority",  # sheds prefer requests below this priority
         "seed",
         "deadline_budget_ms",  # overall budget for one logical call (retry)
+        # hardware offload (repro.offload)
+        "table_entries",  # expected rows per keyed table, for the device
+        # memory estimate (default 65536); ADN406 checks the result
     }
 )
 

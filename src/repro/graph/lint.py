@@ -168,3 +168,41 @@ def check_chain_resolution(
             continue  # already reported per-edge above, with the edge name
         out.append(_spec_error(message, path))
     return out
+
+
+def check_offload_capacity(
+    graph: ServiceGraph,
+    program: Program,
+    schema: RpcSchema,
+    path: str = "<graph>",
+) -> List[Diagnostic]:
+    """ADN406 over a graph spec: edges that declare an offload tier get
+    the same split-chain capacity walk the deploy-time solver runs, so
+    a chain whose prefix cannot fit the device reports its host
+    fallback while the spec is being reviewed, not at placement time.
+    Shares the implementation with :func:`repro.offload.split.split_chain`
+    — the diagnostics *are* the solver's."""
+    from ..compiler.compiler import AdnCompiler
+    from ..dsl.ast_nodes import ChainDecl
+    from ..errors import AdnError
+    from ..offload.split import split_chain
+
+    out: List[Diagnostic] = []
+    compiler = AdnCompiler()
+    for edge in graph.edges:
+        if edge.offload is None:
+            continue
+        try:
+            chain = compiler.compile_chain(
+                ChainDecl(src=edge.src, dst=edge.dst, elements=edge.elements),
+                program,
+                schema,
+                app_name=graph.name,
+            )
+        except AdnError:
+            continue  # resolution problems are ADN600's to report
+        decision = split_chain(
+            chain, schema, edge.offload, path=f"{path}:{edge.name}"
+        )
+        out.extend(decision.diagnostics)
+    return out

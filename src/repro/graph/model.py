@@ -101,12 +101,23 @@ class EdgeSpec:
     #: shed on different fields split one logical request's fate —
     #: ADN604 checks this statically
     hash_fields: Tuple[str, ...] = ()
+    #: offload tier for this edge's chain: "nic" or "switch" splits the
+    #: device-legal element prefix onto the hardware in front of the
+    #: destination host (repro.offload); None keeps the software solve
+    offload: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.elements, tuple):
             object.__setattr__(self, "elements", tuple(self.elements))
         if not isinstance(self.hash_fields, tuple):
             object.__setattr__(self, "hash_fields", tuple(self.hash_fields))
+        if self.offload is not None and self.offload not in (
+            "nic", "switch"
+        ):
+            raise GraphError(
+                f"edge {self.src}->{self.dst}: unknown offload tier "
+                f"{self.offload!r} (choose 'nic' or 'switch')"
+            )
 
     @property
     def key(self) -> EdgeKey:
@@ -132,6 +143,7 @@ class EdgeSpec:
             ("queue_limit", None),
             ("breaker", False),
             ("required", True),
+            ("offload", None),
         ):
             value = getattr(self, key)
             if value != default:
@@ -328,6 +340,7 @@ class ServiceGraph:
                 "src", "dst", "elements", "deadline_budget_ms",
                 "max_attempts", "per_attempt_timeout_ms", "admission",
                 "queue_limit", "breaker", "required", "hash_fields",
+                "offload",
             }
             if unknown:
                 raise GraphError(
@@ -359,6 +372,11 @@ class ServiceGraph:
                     required=bool(raw.get("required", True)),
                     hash_fields=tuple(
                         str(f) for f in raw.get("hash_fields", ())
+                    ),
+                    offload=(
+                        str(raw["offload"])
+                        if raw.get("offload") is not None
+                        else None
                     ),
                 )
             )

@@ -23,6 +23,8 @@ from ..control.placement import ClusterSpec, PlacementRequest, solve_placement
 from ..dsl.ast_nodes import ChainDecl, Program
 from ..dsl.schema import RpcSchema
 from ..errors import GraphError
+from ..lint.diagnostics import Diagnostic
+from ..offload.split import SplitDecision, solve_offload_plan
 from ..runtime.processor import PlacementPlan
 from .model import EdgeKey, ServiceGraph
 
@@ -56,6 +58,12 @@ class GraphPlacement:
     #: the expensive half of a solve)
     edge_chains: Dict[EdgeKey, CompiledChain] = field(default_factory=dict)
     machines: List[MachineSpec] = field(default_factory=list)
+    #: edge key -> split decision, for edges that requested an offload
+    #: tier (the host-fallback story lives in its diagnostics)
+    edge_offloads: Dict[EdgeKey, SplitDecision] = field(default_factory=dict)
+    #: ADN406 etc. raised while solving (capacity fallbacks — the solve
+    #: still succeeds)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def machine_of(self, service: str) -> str:
         try:
@@ -184,18 +192,33 @@ def solve_graph_placement(
         chain = compiler.compile_chain(
             decl, program, schema, app_name=graph.name
         )
-        cluster = ClusterSpec(
-            client_machine=assignment[edge.src],
-            server_machine=assignment[edge.dst],
-        )
-        plan = solve_placement(
-            PlacementRequest(
-                chain=chain,
-                schema=schema,
-                cluster=cluster,
-                strategy=strategy,
+        if edge.offload is not None:
+            # split-chain compilation: the device-legal prefix runs on
+            # the hardware in front of the destination host; capacity
+            # refusals fall back to host placement with a diagnostic
+            plan, decision = solve_offload_plan(
+                chain,
+                schema,
+                edge.offload,
+                server_machine=assignment[edge.dst],
+                queue_limit=edge.queue_limit,
+                path=f"{graph.name}:{edge.name}",
             )
-        )
+            placement.edge_offloads[edge.key] = decision
+            placement.diagnostics.extend(decision.diagnostics)
+        else:
+            cluster = ClusterSpec(
+                client_machine=assignment[edge.src],
+                server_machine=assignment[edge.dst],
+            )
+            plan = solve_placement(
+                PlacementRequest(
+                    chain=chain,
+                    schema=schema,
+                    cluster=cluster,
+                    strategy=strategy,
+                )
+            )
         placement.edge_chains[edge.key] = chain
         placement.edge_plans[edge.key] = plan
     return placement

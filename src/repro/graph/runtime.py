@@ -72,15 +72,38 @@ def build_graph_cluster(
     programmable_switch: bool = False,
 ) -> Cluster:
     """A cluster with every machine the placement references: the solve
-    pool plus any machines services were pinned to outside it."""
+    pool plus any machines services were pinned to outside it. Machines
+    that host a SmartNIC segment in some edge plan get a NIC; a switch
+    segment anywhere makes the ToR programmable (offloaded edge plans
+    must be realizable without the caller re-deriving the hardware)."""
+    from ..platforms import Platform
     from .placement import DEFAULT_MACHINE_CORES
 
+    nic_machines = {
+        segment.machine
+        for plan in placement.edge_plans.values()
+        for segment in plan.segments
+        if segment.platform is Platform.SMARTNIC
+    }
+    programmable_switch = programmable_switch or any(
+        segment.platform is Platform.SWITCH_P4
+        for plan in placement.edge_plans.values()
+        for segment in plan.segments
+    )
     cluster = Cluster(sim, costs=costs, programmable_switch=programmable_switch)
     for spec in placement.machines:
-        cluster.add_machine(spec.name, cores=spec.cores)
+        cluster.add_machine(
+            spec.name,
+            cores=spec.cores,
+            has_smartnic=spec.name in nic_machines,
+        )
     for machine in placement.service_machines.values():
         if machine not in cluster.machines:
-            cluster.add_machine(machine, cores=DEFAULT_MACHINE_CORES)
+            cluster.add_machine(
+                machine,
+                cores=DEFAULT_MACHINE_CORES,
+                has_smartnic=machine in nic_machines,
+            )
     return cluster
 
 

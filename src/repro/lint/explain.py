@@ -117,6 +117,19 @@ app NoCustody {
     chain mid -> leaf { guarded }              -- retry consumes one
 }
 filter guarded = retry { max_attempts: 3; deadline_budget_ms: 20.0; };""",
+    "ADN406": """\
+element HugeTable {
+    state seen (k: str KEY, v: int);
+    meta { table_entries: 10000000; }  -- 10M rows x 40 B > NIC memory
+    on request { UPDATE seen SET v = 1 WHERE k == input.username; }
+}
+app Offloaded {
+    service A; service B;
+    chain A -> B { HugeTable }
+}
+-- lint with --smartnics: the element passes the eBPF-subset check but
+-- its table cannot fit the device; placement falls back to the host
+""",
     "ADN501": """\
 element MissingField {
     on request {

@@ -12,6 +12,15 @@ element whose state blocks replication (read-modify-write, per
 runtime — if the machine hosting it crashes and the element never opted
 into checkpointing (``meta { checkpoint: true; }``), recovery has no
 source to restore from and the state is simply gone.
+
+``ADN406`` covers the capacity dimension the legality matrix cannot:
+an element can be perfectly expressible in the device's instruction
+subset and still not *fit* — its keyed tables, sized by the
+``table_entries`` meta (default 65536 rows), exceed the SmartNIC's or
+switch's table memory, or it needs more registers than the pipeline
+has. The offload path handles this safely at deploy time (host
+fallback with a diagnostic); this rule surfaces the same fact
+statically, while the chain is being written.
 """
 
 from __future__ import annotations
@@ -175,4 +184,92 @@ def check_unrecoverable_state(context) -> List[Diagnostic]:
                         "or keyed partitioned)",
                     )
                 )
+    return out
+
+
+#: subset-legality backend per hardware platform: capacity is checked
+#: here against the device profile, so legality must come from the raw
+#: instruction-subset check (the nic backend folds capacity into its own
+#: legality and would mask exactly the elements this rule is about)
+_SUBSET_BACKEND = {
+    Platform.SMARTNIC: "ebpf",
+    Platform.SWITCH_P4: "p4",
+}
+
+
+@rule("ADN406", "state-exceeds-device-memory", Severity.WARNING)
+def check_device_capacity(context) -> List[Diagnostic]:
+    """A chain element is expressible on the cluster's SmartNIC or
+    programmable switch but its state does not fit the device: keyed
+    tables sized by ``meta { table_entries: N; }`` (default 65536 rows)
+    overflow the device's table memory, or the element declares more
+    variables than the pipeline has registers. At deploy time the
+    offload solver refuses the prefix and falls back to the host — this
+    rule reports the same capacity arithmetic statically, so the
+    fallback is a choice rather than a surprise."""
+    from ...offload.device import (
+        device_profile_for,
+        element_registers,
+        element_table_bytes,
+    )
+
+    cluster = context.options.cluster
+    devices = [
+        platform
+        for platform in (Platform.SMARTNIC, Platform.SWITCH_P4)
+        if _platform_available(platform, cluster)
+    ]
+    if not devices:
+        return []
+    out: List[Diagnostic] = []
+    backends = make_backends(context.registry)
+    reported = set()
+    for app_name in context.own_apps:
+        app = context.program.apps[app_name]
+        for chain in app.chains:
+            for name in chain.elements:
+                ir = context.irs.get(name)
+                if ir is None:
+                    continue
+                for platform in devices:
+                    if (name, platform) in reported:
+                        continue
+                    subset = backends[_SUBSET_BACKEND[platform]]
+                    if not subset.check(ir).legal:
+                        continue  # never offloadable; capacity is moot
+                    profile = device_profile_for(platform)
+                    needed_bytes = element_table_bytes(ir)
+                    needed_regs = element_registers(ir)
+                    overflows = []
+                    if needed_bytes > profile.table_bytes:
+                        overflows.append(
+                            f"tables need {needed_bytes} bytes, "
+                            f"{profile.name} has {profile.table_bytes}"
+                        )
+                    if needed_regs > profile.registers:
+                        overflows.append(
+                            f"needs {needed_regs} registers, "
+                            f"{profile.name} has {profile.registers}"
+                        )
+                    if not overflows:
+                        continue
+                    reported.add((name, platform))
+                    element = context.program.elements.get(name)
+                    span = element.span if element is not None else chain.span
+                    out.append(
+                        context.diag(
+                            "ADN406",
+                            Severity.WARNING,
+                            f"element {name!r} fits the "
+                            f"{platform.value} instruction subset but "
+                            f"not its memory: " + "; ".join(overflows)
+                            + " — placement will fall back to the host",
+                            span=span,
+                            element=name,
+                            fix="lower 'meta { table_entries: N; }' to "
+                            "the real working-set size, shrink the "
+                            "table's row types, or keep the element on "
+                            "a software platform",
+                        )
+                    )
     return out

@@ -1,0 +1,37 @@
+"""Offload substrate: simulated NIC/switch dataplanes that execute
+legal element prefixes in front of the host (ROADMAP item 5).
+
+* :mod:`repro.offload.device` — per-platform capability descriptors
+  (pipeline stages, table bytes, registers) and static table-memory
+  estimators;
+* :mod:`repro.offload.split` — split-chain compilation: carve the
+  longest device-legal prefix off a chain, translation-validate the
+  split, and fall back to host placement with a diagnostic when the
+  device refuses;
+* :mod:`repro.offload.sweep` — the NIC-shed-vs-server-shed overload
+  benchmark (goodput and host CPU per admitted RPC at 3x load).
+"""
+
+from .device import (
+    DEVICE_PROFILES,
+    CapacityReport,
+    DeviceProfile,
+    chain_table_bytes,
+    check_capacity,
+    device_profile_for,
+    element_table_bytes,
+)
+from .split import SplitDecision, solve_offload_plan, split_chain
+
+__all__ = [
+    "DEVICE_PROFILES",
+    "CapacityReport",
+    "DeviceProfile",
+    "SplitDecision",
+    "chain_table_bytes",
+    "check_capacity",
+    "device_profile_for",
+    "element_table_bytes",
+    "solve_offload_plan",
+    "split_chain",
+]

@@ -1,0 +1,197 @@
+"""Hardware device model for the offload substrate.
+
+The paper (§3, Figure 2) lets elements run on a SmartNIC or a
+programmable switch, but those devices are nothing like host cores: a
+match-action pipeline has a *fixed number of stages* (a chain longer
+than the pipeline must recirculate, paying another pass through it), a
+*bounded table memory* (SRAM/TCAM measured in megabytes, not the host's
+gigabytes), and a small register file for scalar state. This module is
+the single source of truth for those capabilities:
+
+* :class:`DeviceProfile` — one device's capability descriptor (stages,
+  table bytes, registers); the matching execution costs (per-packet
+  match-action cost, recirculation penalty, NIC-side receive dispatch)
+  live in :class:`~repro.sim.costmodel.CostModel` with every other
+  calibrated microsecond;
+* :data:`DEVICE_PROFILES` — the default profile per hardware-ish
+  platform. ``KERNEL_EBPF`` gets a profile too, with host-memory-sized
+  tables: the kernel runs the same instruction subset as the SmartNIC
+  but is *not* memory-bound the way the NIC is — conflating the two
+  (the old shared ``"ebpf"`` backend name) is exactly the bug the
+  per-platform descriptors fix;
+* :func:`element_table_bytes` / :func:`chain_table_bytes` — static
+  estimators of how much device memory an element's state tables pin,
+  derived from the same column widths and default map capacity the eBPF
+  emitter generates (``ADN_HASH_MAP(..., 65536)`` /
+  ``ADN_RINGBUF(..., 1 << 20)``);
+* :func:`check_capacity` — does a run of elements fit a device? Returns
+  a report, never raises: capacity refusals downstream become host
+  fallbacks with a diagnostic (ADN406), not crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..dsl.schema import FieldType
+from ..ir.nodes import ElementIR
+from ..platforms import Platform
+
+#: default hash-map capacity the eBPF/NIC emitters allocate per keyed
+#: table — the estimator must agree with the generated code
+DEFAULT_TABLE_ENTRIES = 65536
+
+#: bytes reserved per append-only table (lowered to a ring buffer of
+#: fixed size, matching ``ADN_RINGBUF(..., 1 << 20)``)
+RINGBUF_BYTES = 1 << 20
+
+#: element meta key overriding the per-table entry count (how an element
+#: declares that its tables are sized for, say, per-flow state)
+TABLE_ENTRIES_META = "table_entries"
+
+#: on-device width of one column, in bytes (mirrors the eBPF backend's
+#: ``_C_TYPES``: fixed 32-byte strings, 8-byte scalars, byte flags)
+_COLUMN_BYTES: Dict[FieldType, int] = {
+    FieldType.INT: 8,
+    FieldType.FLOAT: 8,  # Q32.32 fixed point
+    FieldType.BOOL: 1,
+    FieldType.STR: 32,
+    FieldType.BYTES: 32,
+}
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Capabilities and cost parameters of one hardware processor."""
+
+    name: str
+    platform: Platform
+    #: match-action pipeline stages one pass executes; a chain placing
+    #: more elements than this recirculates (extra passes)
+    pipeline_stages: int
+    #: total SRAM available for element state tables
+    table_bytes: int
+    #: scalar registers (one per element ``var``)
+    registers: int
+
+    def recirculations(self, element_count: int) -> int:
+        """Extra pipeline passes needed to run ``element_count``
+        elements (0 when the chain fits one pass)."""
+        if element_count <= 0:
+            return 0
+        return (element_count - 1) // self.pipeline_stages
+
+
+#: default capability descriptors per platform. The asymmetry between
+#: SMARTNIC and KERNEL_EBPF table budgets is the de-conflation: both run
+#: the eBPF instruction subset, but the kernel maps live in host DRAM
+#: while the NIC's live in a few MB of on-card SRAM.
+DEVICE_PROFILES: Dict[Platform, DeviceProfile] = {
+    Platform.SMARTNIC: DeviceProfile(
+        name="smartnic",
+        platform=Platform.SMARTNIC,
+        pipeline_stages=8,
+        table_bytes=16 * 1024 * 1024,  # 16 MiB on-card SRAM
+        registers=64,
+    ),
+    Platform.SWITCH_P4: DeviceProfile(
+        name="switch",
+        platform=Platform.SWITCH_P4,
+        pipeline_stages=12,
+        table_bytes=8 * 1024 * 1024,  # 8 MiB across pipeline stages
+        registers=32,
+    ),
+    Platform.KERNEL_EBPF: DeviceProfile(
+        name="kernel",
+        platform=Platform.KERNEL_EBPF,
+        pipeline_stages=32,  # tail-call chain depth, effectively deep
+        table_bytes=512 * 1024 * 1024,  # BPF maps live in host DRAM
+        registers=512,
+    ),
+}
+
+
+def device_profile_for(platform: Platform) -> Optional[DeviceProfile]:
+    """The capability descriptor for a platform, or None for software
+    platforms (whose capacity is modeled by host cores, not here)."""
+    return DEVICE_PROFILES.get(platform)
+
+
+def table_entries_for(ir: ElementIR) -> int:
+    """Entries allocated per keyed table of this element (meta override
+    or the emitter default)."""
+    raw = ir.meta.get(TABLE_ENTRIES_META, DEFAULT_TABLE_ENTRIES)
+    try:
+        return max(1, int(raw))
+    except (TypeError, ValueError):
+        return DEFAULT_TABLE_ENTRIES
+
+
+def element_table_bytes(ir: ElementIR) -> int:
+    """Device memory one element's state tables pin: keyed tables at
+    their allocated entry count times the on-device row width,
+    append-only tables at the fixed ring-buffer size."""
+    entries = table_entries_for(ir)
+    total = 0
+    for decl in ir.states:
+        if decl.append_only:
+            total += RINGBUF_BYTES
+            continue
+        row = sum(
+            _COLUMN_BYTES.get(column.type, 8) for column in decl.columns
+        )
+        total += entries * row
+    return total
+
+
+def element_registers(ir: ElementIR) -> int:
+    """Scalar registers an element's ``var`` declarations pin."""
+    return len(ir.vars)
+
+
+def chain_table_bytes(irs: Iterable[ElementIR]) -> int:
+    return sum(element_table_bytes(ir) for ir in irs)
+
+
+@dataclass
+class CapacityReport:
+    """Outcome of checking a run of elements against one device."""
+
+    profile: DeviceProfile
+    table_bytes: int = 0
+    registers: int = 0
+    violations: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.violations is None:
+            self.violations = []
+
+    @property
+    def fits(self) -> bool:
+        return not self.violations
+
+
+def check_capacity(
+    profile: DeviceProfile, irs: Sequence[ElementIR]
+) -> CapacityReport:
+    """Do these elements' state tables and registers fit the device?
+
+    Never raises — callers turn a non-fitting report into a host
+    fallback plus an ADN406 diagnostic.
+    """
+    report = CapacityReport(profile=profile)
+    for ir in irs:
+        report.table_bytes += element_table_bytes(ir)
+        report.registers += element_registers(ir)
+    if report.table_bytes > profile.table_bytes:
+        report.violations.append(
+            f"state tables need {report.table_bytes} bytes; "
+            f"{profile.name} offers {profile.table_bytes}"
+        )
+    if report.registers > profile.registers:
+        report.violations.append(
+            f"element vars need {report.registers} registers; "
+            f"{profile.name} offers {profile.registers}"
+        )
+    return report

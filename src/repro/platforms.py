@@ -40,9 +40,20 @@ class Platform(enum.Enum):
             Platform.MRPC: "python",
             Platform.SIDECAR: "wasm",
             Platform.KERNEL_EBPF: "ebpf",
-            Platform.SMARTNIC: "ebpf",  # SmartNIC model runs the eBPF subset
+            # the NIC runs the eBPF instruction subset but under its own
+            # capacity descriptor (on-card SRAM, registers) — a distinct
+            # backend, not an alias of the kernel's
+            Platform.SMARTNIC: "nic",
             Platform.SWITCH_P4: "p4",
         }[self]
+
+    @property
+    def capabilities(self):
+        """Capability descriptor (stages, table bytes, registers) for
+        hardware-ish platforms; None for software platforms."""
+        from .offload.device import device_profile_for
+
+        return device_profile_for(self)
 
 
 #: Platforms able to run arbitrary (software) element logic.

@@ -222,6 +222,7 @@ class AdnMrpcStack:
         #: assume every schema field) — narrows the request hop header
         #: exactly like repro.analysis.graph computed it
         self._app_reads = app_reads
+        self._nic_rx_processor = self._find_nic_rx(self.processors)
         self._configure_overload(self.processors)
         self._transport: Dict[str, Resource] = {}
         for side, machine_name, mode in (
@@ -313,11 +314,38 @@ class AdnMrpcStack:
                 if processor.segment.queue_limit is None:
                     processor.segment.queue_limit = self._queue_limit
             if self._admission_config is not None:
+                monitor = processor.resource
+                if (
+                    processor.segment.platform is Platform.SMARTNIC
+                    and processor.segment.machine == self.server_machine
+                ):
+                    # receive-side dispatching: the NIC sits in front of
+                    # the host and sheds on the *host engine's*
+                    # backpressure, not its own (its match-action cores
+                    # are never the bottleneck) — that is what makes a
+                    # NIC shed nearly free for the host
+                    monitor = self.cluster.machine(
+                        self.server_machine
+                    ).thread("mrpc-engine")
                 processor.install_admission(
                     AdmissionController(
-                        self.sim, processor.resource, self._admission_config
+                        self.sim, monitor, self._admission_config
                     )
                 )
+
+    def _find_nic_rx(
+        self, processors: List[ProcessorRuntime]
+    ) -> Optional[ProcessorRuntime]:
+        """The server-side SmartNIC processor, if the plan placed one —
+        it owns receive-side dispatch for this hop."""
+        for processor in processors:
+            segment = processor.segment
+            if (
+                segment.platform is Platform.SMARTNIC
+                and segment.machine == self.server_machine
+            ):
+                return processor
+        return None
 
     def _seed_load_balancers(self) -> None:
         replicas = [
@@ -599,8 +627,22 @@ class AdnMrpcStack:
                     trace.append(("wire:forward", hop_started, self.sim.now))
             if not self.cluster.machine_up(self.server_machine):
                 yield from self._lost(f"crash:{self.server_machine}")
-            # server engine receives and hands to the app
-            yield self.sim.timeout(self.costs.mrpc_rx_wakeup_extra_us * US)
+            # server engine receives and hands to the app; a server-side
+            # NIC segment has already parsed the header and steers the
+            # message to its core (receive-side dispatching): the host
+            # wakeup shrinks and the dispatch CPU lands on the NIC
+            nic = self._nic_rx_processor
+            if nic is not None and nic.resource is not None:
+                yield from self._use(
+                    nic.resource, self.costs.nic_rx_dispatch_us
+                )
+                yield self.sim.timeout(
+                    self.costs.nic_rx_wakeup_extra_us * US
+                )
+            else:
+                yield self.sim.timeout(
+                    self.costs.mrpc_rx_wakeup_extra_us * US
+                )
             cpu, extra, _wire = self._transport_cost("server", current)
             yield from self._use(self._transport["server"], cpu)
             if deadline_at is not None and self.sim.now > deadline_at:
@@ -672,7 +714,11 @@ class AdnMrpcStack:
                 and processor.segment.machine == self.client_machine
             ):
                 cpu, extra, wire = self._transport_cost("server", response)
-                yield from self._use(self._transport["server"], cpu)
+                sender = self._return_wire_resource(
+                    dropped_by, dropping_processor
+                )
+                if sender is not None:
+                    yield from self._use(sender, cpu)
                 if extra:
                     yield self.sim.timeout(extra * US)
                 hop_started = self.sim.now
@@ -702,7 +748,11 @@ class AdnMrpcStack:
                 response = result.outputs[0]
         if returned_wire:
             cpu, extra, wire = self._transport_cost("server", response)
-            yield from self._use(self._transport["server"], cpu)
+            sender = self._return_wire_resource(
+                dropped_by, dropping_processor
+            )
+            if sender is not None:
+                yield from self._use(sender, cpu)
             if extra:
                 yield self.sim.timeout(extra * US)
             hop_started = self.sim.now
@@ -737,6 +787,27 @@ class AdnMrpcStack:
         if self.tracing:
             outcome.notes["trace"] = trace
         return outcome
+
+    def _return_wire_resource(
+        self,
+        dropped_by: Optional[str],
+        dropping_processor: Optional[ProcessorRuntime],
+    ) -> Optional[Resource]:
+        """Who pays CPU to put the return message on the wire from the
+        server side: normally the host engine; an RPC aborted at a
+        server-side hardware processor never reached the host — the
+        device itself answers, so its cores (NIC) or nobody (switch,
+        line rate) pay for the abort turnaround. This is the entire
+        economics of shedding in the network instead of on the server.
+        """
+        if dropped_by and dropping_processor is not None:
+            segment = dropping_processor.segment
+            if (
+                segment.platform.is_hardware
+                and segment.machine != self.client_machine
+            ):
+                return dropping_processor.resource  # None on the switch
+        return self._transport["server"]
 
     def _before_drop(
         self,
@@ -811,6 +882,7 @@ class AdnMrpcStack:
             for segment in new_plan.segments
             for name in segment.elements
         ]
+        self._nic_rx_processor = self._find_nic_rx(self.processors)
         self._configure_overload(self.processors)
         self._seed_load_balancers()
         self._codec = self._build_codec()

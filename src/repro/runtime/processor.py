@@ -246,6 +246,9 @@ class ProcessorRuntime:
             factor *= self.costs.handcoded_element_factor
         if self.segment.platform is Platform.SIDECAR:
             base += self.costs.wasm_trampoline_us
+        if self.segment.platform is Platform.SMARTNIC:
+            # per-packet match-action work on the NIC's own cores
+            base += self.costs.nic_match_action_us
         return base * factor * self.slowdown_factor
 
     def _run_functionally(self, kind: str, rpc: Row) -> SegmentResult:
@@ -331,7 +334,22 @@ class ProcessorRuntime:
             # crossing into the sidecar process costs once per traversal,
             # not per element
             return per_element
-        return per_element * element_count
+        extra = per_element * element_count
+        if self.segment.platform.is_hardware:
+            # a chain longer than the device pipeline recirculates: every
+            # extra pass re-crosses the whole match-action pipeline
+            from ..offload.device import device_profile_for
+
+            profile = device_profile_for(self.segment.platform)
+            passes = profile.recirculations(element_count) if profile else 0
+            if passes:
+                per_pass = (
+                    self.costs.nic_recirculate_extra_us
+                    if self.segment.platform is Platform.SMARTNIC
+                    else self.costs.switch_recirculate_extra_us
+                )
+                extra += passes * per_pass
+        return extra
 
     def install_admission(self, controller: AdmissionController) -> None:
         """Install (or replace) this processor's admission controller."""

@@ -107,6 +107,22 @@ class CostModel:
     #: per-element sandbox trampoline when hosted as a WASM proxy filter
     wasm_trampoline_us: float = 1.0
 
+    # -- hardware offload substrate (repro.offload) -------------------------
+    #: per-element match-action CPU on SmartNIC cores (charged to the
+    #: NIC's own cores, never to host threads)
+    nic_match_action_us: float = 0.4
+    #: latency per extra pipeline pass when a placed chain exceeds the
+    #: device's stage count (DeviceProfile.pipeline_stages) and must
+    #: recirculate
+    nic_recirculate_extra_us: float = 1.8
+    switch_recirculate_extra_us: float = 0.6
+    #: receive-side dispatching on the NIC: CPU the NIC spends steering
+    #: a received RPC to the right host core (charged to the NIC)
+    nic_rx_dispatch_us: float = 1.0
+    #: host wakeup latency when the NIC has pre-steered the message to
+    #: its core — replaces the engine's generic ``mrpc_rx_wakeup_extra_us``
+    nic_rx_wakeup_extra_us: float = 2.0
+
     # -- network -----------------------------------------------------------
     wire_latency_us: float = 5.0  # per switch hop (propagation + switching)
     wire_per_byte_us: float = 0.0008  # 10 Gb/s serialization

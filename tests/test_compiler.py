@@ -32,7 +32,9 @@ class TestCompileElement:
     def test_legality_matrix(self, compiler):
         program = load_stdlib(["Acl", "Compression", "Logging"], schema=SCHEMA)
         acl = compiler.compile_element(program.elements["Acl"])
-        assert set(acl.legal_backends()) == {"python", "ebpf", "p4", "wasm"}
+        assert set(acl.legal_backends()) == {
+            "python", "ebpf", "nic", "p4", "wasm"
+        }
         compression = compiler.compile_element(program.elements["Compression"])
         assert set(compression.legal_backends()) == {"python", "wasm"}
         logging = compiler.compile_element(program.elements["Logging"])

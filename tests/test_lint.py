@@ -40,7 +40,7 @@ class TestRuleCatalog:
         assert {
             "ADN201", "ADN202", "ADN203", "ADN204", "ADN205",
             "ADN301", "ADN302", "ADN303", "ADN310", "ADN401", "ADN402",
-            "ADN403", "ADN404", "ADN405",
+            "ADN403", "ADN404", "ADN405", "ADN406",
             "ADN700", "ADN701", "ADN702", "ADN703",
         } <= codes
 

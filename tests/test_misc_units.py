@@ -143,7 +143,9 @@ class TestPlatforms:
     def test_backend_mapping(self):
         assert Platform.MRPC.backend_name == "python"
         assert Platform.KERNEL_EBPF.backend_name == "ebpf"
-        assert Platform.SMARTNIC.backend_name == "ebpf"
+        # the NIC runs the eBPF subset but under its own capacity
+        # descriptor — a distinct backend, not an alias of the kernel's
+        assert Platform.SMARTNIC.backend_name == "nic"
         assert Platform.SWITCH_P4.backend_name == "p4"
         assert Platform.SIDECAR.backend_name == "wasm"
 
