@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench faults overload offload graph graph-check sanitize analyze examples check-all lint typecheck loc
+.PHONY: install test bench faults chaos-soak overload offload graph graph-check sanitize analyze examples check-all lint typecheck loc
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -40,6 +40,16 @@ faults:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_chaos.py -q -k fault_soak
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py -q -k RecoveryScenario
 	PYTHONPATH=src $(PYTHON) -m repro faults --rpcs 2000
+
+chaos-soak:
+	@# control-plane resilience: the resilience unit suite, the seeded
+	@# multi-fault chaos soak via the CLI (exits nonzero on any
+	@# split-brain application), and the failover benchmark smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_resilience.py -q
+	PYTHONPATH=src $(PYTHON) -m repro chaos --trials 4 --rpcs 600 \
+	    --json chaos-soak.json
+	PYTHONPATH=src $(PYTHON) -m pytest \
+	    benchmarks/test_control_resilience.py -q -k smoke
 
 overload:
 	@# overload-control smoke: the unit suite, the goodput-sweep smoke

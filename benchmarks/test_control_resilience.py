@@ -1,0 +1,205 @@
+"""Control-plane resilience under failure — the failover experiment.
+
+Three pinned results, each bit-identical under its fixed seed:
+
+* **controller crash mid-recovery** — the leader dies while recovering
+  a crashed data host. With the warm standby the journaled recovery
+  resumes after lease expiry and mesh goodput stays >= 70% of the
+  unstressed peak; without it the recovery is orphaned and the
+  workload never finishes (the closed loop times out);
+* **epoch fencing** — a control partition during recovery deposes the
+  leader mid-push. The healed stale leader's late plan bounces off the
+  epoch fence (zero stale applications across the chaos soak); with
+  the fence disabled the same schedule demonstrates the split-brain
+  double-application;
+* **gray-failure detection** — a machine running 20x slow keeps
+  heartbeating, so crash-only phi-accrual never fires; the gray score
+  over per-window service latency detects it and routes around.
+"""
+
+import pytest
+
+from repro.control.resilience import (
+    CTRL_A,
+    STATS_MACHINE,
+    run_chaos_soak,
+    run_control_resilience_scenario,
+)
+from repro.faults import (
+    GRAY_DEGRADE,
+    FaultEvent,
+    FaultPlan,
+    controller_crash_during_failover_plan,
+    partition_during_recovery_plan,
+)
+
+from bench_harness import bench_assert, print_table
+
+CRASH_MID_RECOVERY = dict(
+    seed=2,
+    total_rpcs=1500,
+    fault_plan=controller_crash_during_failover_plan(
+        STATS_MACHINE, CTRL_A, crash_at_s=0.01, leader_crash_at_s=0.032
+    ),
+    run_limit_s=4.0,
+)
+
+PARTITION_MID_RECOVERY = dict(
+    seed=3,
+    total_rpcs=1500,
+    fault_plan=partition_during_recovery_plan(
+        STATS_MACHINE, CTRL_A, crash_at_s=0.01, partition_at_s=0.031,
+        partition_for_s=0.06,
+    ),
+)
+
+GRAY_PLAN = FaultPlan(
+    events=[
+        FaultEvent(
+            at_s=0.1, kind=GRAY_DEGRADE, target=STATS_MACHINE,
+            duration_s=0.5, magnitude=20.0,
+        )
+    ],
+    seed=4,
+)
+
+GRAY_KWARGS = dict(
+    seed=4, total_rpcs=1000, fault_plan=GRAY_PLAN, client_think_s=0.002,
+    horizon_s=1.0,
+)
+
+
+@pytest.fixture(scope="module")
+def failover_runs():
+    return {
+        "unstressed": run_control_resilience_scenario(
+            seed=2, total_rpcs=1500, fault_plan=FaultPlan(events=[], seed=2)
+        ),
+        "with-failover": run_control_resilience_scenario(
+            **CRASH_MID_RECOVERY
+        ),
+        "no-failover": run_control_resilience_scenario(
+            standby=False, **CRASH_MID_RECOVERY
+        ),
+    }
+
+
+def test_failover_table(failover_runs, benchmark):
+    def report():
+        return print_table(
+            "controller crash mid-recovery (goodput fraction)",
+            rows=["unstressed", "with-failover", "no-failover"],
+            columns=["goodput", "recoveries", "failovers", "timed out"],
+            cell=lambda row, col: float({
+                "goodput": failover_runs[row].goodput_fraction,
+                "recoveries": len(failover_runs[row].reports),
+                "failovers": len(failover_runs[row].failovers),
+                "timed out": failover_runs[row].timed_out,
+            }[col]),
+        )
+
+    bench_assert(benchmark, report)
+
+
+def test_failover_keeps_goodput_above_70_percent(failover_runs, benchmark):
+    def check():
+        peak = failover_runs["unstressed"].goodput_fraction
+        survived = failover_runs["with-failover"]
+        assert not survived.timed_out
+        assert survived.goodput_fraction >= 0.70 * peak
+        # the takeover actually happened and resumed the journaled job
+        (failover,) = survived.failovers
+        assert failover.term == 2
+        assert STATS_MACHINE in failover.resumed
+        assert [r.machine for r in survived.reports] == [STATS_MACHINE]
+        return survived.goodput_fraction
+
+    bench_assert(benchmark, check)
+
+
+def test_no_failover_baseline_orphans_the_mesh(failover_runs, benchmark):
+    def check():
+        orphaned = failover_runs["no-failover"]
+        assert orphaned.timed_out
+        assert orphaned.reports == []
+        assert (
+            orphaned.goodput_fraction
+            < failover_runs["with-failover"].goodput_fraction
+        )
+        return orphaned.goodput_fraction
+
+    bench_assert(benchmark, check)
+
+
+def test_zero_stale_applications_across_chaos_trials(benchmark):
+    def check():
+        fenced = run_control_resilience_scenario(**PARTITION_MID_RECOVERY)
+        assert fenced.stale_plans_rejected >= 1
+        assert fenced.stale_plans_applied == 0
+        unfenced = run_control_resilience_scenario(
+            fence_epochs=False, **PARTITION_MID_RECOVERY
+        )
+        assert unfenced.stale_plans_applied >= 1
+        soak = run_chaos_soak(trials=4, base_seed=100, total_rpcs=600)
+        assert soak["total_stale_applied"] == 0
+        return soak["total_stale_rejected"]
+
+    bench_assert(benchmark, check)
+
+
+def test_gray_failure_detected_and_routed_around(benchmark):
+    def check():
+        gray = run_control_resilience_scenario(
+            gray_factor=3.0, **GRAY_KWARGS
+        )
+        (report,) = gray.reports
+        assert report.kind == "gray"
+        assert report.machine == STATS_MACHINE
+        assert report.elements_moved  # routed around, not just noticed
+        # crash-only phi-accrual never fires: the machine heartbeats
+        crash_only = run_control_resilience_scenario(
+            gray_factor=0.0, **GRAY_KWARGS
+        )
+        assert crash_only.reports == []
+        assert STATS_MACHINE not in crash_only.detector.suspects
+        return report.recovered_at
+
+    bench_assert(benchmark, check)
+
+
+def test_replay_is_bit_identical(failover_runs, benchmark):
+    def check():
+        again = run_control_resilience_scenario(**CRASH_MID_RECOVERY)
+        assert again.signature() == failover_runs["with-failover"].signature()
+        gray = [
+            run_control_resilience_scenario(gray_factor=3.0, **GRAY_KWARGS)
+            for _ in range(2)
+        ]
+        assert gray[0].signature() == gray[1].signature()
+        return again.goodput_fraction
+
+    bench_assert(benchmark, check)
+
+
+def test_control_resilience_smoke(benchmark):
+    """Reduced shape for ``make chaos-soak`` (select with ``-k smoke``):
+    failover beats no-failover through a controller blackout, and the
+    fence stays tight."""
+
+    def check():
+        kwargs = dict(CRASH_MID_RECOVERY, total_rpcs=800)
+        survived = run_control_resilience_scenario(**kwargs)
+        orphaned = run_control_resilience_scenario(standby=False, **kwargs)
+        assert not survived.timed_out
+        assert orphaned.timed_out
+        assert survived.goodput_fraction >= 0.70
+        assert survived.stale_plans_applied == 0
+        print(
+            f"goodput with failover {survived.goodput_fraction:.3f} vs "
+            f"orphaned {orphaned.goodput_fraction:.3f} "
+            f"(failovers={len(survived.failovers)}, "
+            f"recoveries={len(survived.reports)})"
+        )
+        return survived.goodput_fraction
+
+    bench_assert(benchmark, check)

@@ -107,9 +107,11 @@ def _graph_spec_diagnostics(args, program, schema, spec: str):
     from .analysis.graph import analyze_graph
     from .graph.lint import (
         check_chain_resolution,
+        check_control_plane_single_point,
         check_deadline_propagation,
         check_offload_capacity,
         load_graph_spec,
+        spec_cluster_block,
     )
     from .lint import Severity
     from .lint.diagnostics import dedupe_diagnostics
@@ -121,6 +123,9 @@ def _graph_spec_diagnostics(args, program, schema, spec: str):
         )
         diagnostics = diagnostics + resolution
         diagnostics += check_deadline_propagation(graph, path=spec)
+        diagnostics += check_control_plane_single_point(
+            graph, spec_cluster_block(spec), program, path=spec
+        )
         if not resolution:
             diagnostics += check_offload_capacity(
                 graph, program, schema, path=spec
@@ -280,6 +285,7 @@ def cmd_lint(args) -> int:
         kernel_offload=not args.no_kernel,
         sidecars_available=not args.no_sidecars,
         engine_available=not args.no_engine,
+        standby_controller=args.standby_controller,
     )
     options = LintOptions(
         schema=schema,
@@ -517,15 +523,22 @@ def cmd_bench(args) -> int:
 
 def cmd_faults(args) -> int:
     from .faults import (
-        FaultPlan,
         default_crash_plan,
         default_retry_policy,
+        load_fault_plan,
         run_recovery_scenario,
     )
 
     if args.plan:
-        with open(args.plan) as handle:
-            plan = FaultPlan.from_json(handle.read())
+        # every malformed-plan failure mode (unreadable file, bad JSON,
+        # unknown kinds, negative times, overlapping transient reverts)
+        # surfaces as ADN610 diagnostics, never a traceback
+        plan, diagnostics = load_fault_plan(args.plan)
+        if plan is None:
+            for diagnostic in diagnostics:
+                print(diagnostic.format_text())
+            print(f"{len(diagnostics)} error(s)")
+            return 1
     else:
         plan = default_crash_plan(seed=args.seed, crash_at_s=args.crash_at)
     result = run_recovery_scenario(
@@ -616,6 +629,63 @@ def cmd_faults(args) -> int:
         return 1
     print(report.summary())
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Seeded multi-fault chaos soak over the control-resilience
+    scenario: overlapping faults on the data host and the leader
+    controller, with failover, journaled recovery resumption, and the
+    epoch fence all armed. The soak-level invariant — zero stale plans
+    *applied* — is the split-brain counter the run exits nonzero on."""
+    from .control.resilience import run_chaos_soak
+
+    soak = run_chaos_soak(
+        trials=args.trials,
+        base_seed=args.seed,
+        horizon_s=args.horizon,
+        events=args.events,
+        total_rpcs=args.rpcs,
+        standby=not args.no_standby,
+        fence_epochs=not args.no_fence,
+    )
+    print(f"chaos soak: {args.trials} trial(s), base seed {args.seed}, "
+          f"{args.events} fault(s)/trial")
+    for trial in soak["trials"]:
+        kinds = ", ".join(
+            f"{event['kind']}({event['target'] or 'fabric'})"
+            for event in trial["events"]
+        )
+        print(f"  seed {trial['seed']:>4}: {kinds}")
+        print(f"    goodput {trial['goodput_fraction']:.3f}  "
+              f"recoveries {trial['recoveries']}  "
+              f"failovers {trial['failovers']}  "
+              f"stale rejected/applied "
+              f"{trial['stale_plans_rejected']}/"
+              f"{trial['stale_plans_applied']}  "
+              f"sig {trial['signature'][:12]}")
+    print()
+    print(f"total recoveries     : {soak['total_recoveries']}")
+    print(f"total failovers      : {soak['total_failovers']}")
+    print(f"stale plans rejected : {soak['total_stale_rejected']}")
+    print(f"stale plans applied  : {soak['total_stale_applied']} "
+          f"(split-brain counter; must be 0)")
+    print(f"min goodput fraction : {soak['min_goodput_fraction']:.3f}")
+    if args.json:
+        _write_bench_json(
+            args.json,
+            "chaos",
+            args.seed,
+            {
+                "trials": args.trials,
+                "events_per_trial": args.events,
+                "horizon_s": args.horizon,
+                "rpcs": args.rpcs,
+                "standby": not args.no_standby,
+                "fence_epochs": not args.no_fence,
+            },
+            soak,
+        )
+    return 1 if soak["total_stale_applied"] else 0
 
 
 def cmd_overload(args) -> int:
@@ -714,9 +784,11 @@ def cmd_graph(args) -> int:
     from .graph import solve_graph_placement
     from .graph.lint import (
         check_chain_resolution,
+        check_control_plane_single_point,
         check_deadline_propagation,
         check_offload_capacity,
         load_graph_spec,
+        spec_cluster_block,
     )
     from .graph.placement import default_machine_pool
     from .graph.scenario import MESH_SCHEMA, bookinfo_graph, hotel_mesh_graph
@@ -752,6 +824,12 @@ def cmd_graph(args) -> int:
         return 1 if failed else 0
     errors = check_chain_resolution(graph, program, schema, path=where)
     diagnostics = check_deadline_propagation(graph, path=where)
+    diagnostics = diagnostics + check_control_plane_single_point(
+        graph,
+        spec_cluster_block(args.spec) if args.spec else None,
+        program,
+        path=where,
+    )
     if not errors:
         diagnostics = diagnostics + check_offload_capacity(
             graph, program, schema, path=where
@@ -933,6 +1011,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="cluster has no sidecar proxies")
     lint.add_argument("--no-engine", action="store_true",
                       help="cluster has no userspace engine (proxyless)")
+    lint.add_argument("--standby-controller", action="store_true",
+                      help="cluster runs a warm-standby controller pair "
+                      "(silences ADN407)")
     add_fields(lint)
     lint.set_defaults(func=cmd_lint)
 
@@ -1013,6 +1094,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the run's metrics as stable JSON",
     )
     faults.set_defaults(func=cmd_faults)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded multi-fault soak with controller failover and "
+        "epoch fencing; exits nonzero on any split-brain application",
+    )
+    chaos.add_argument("--trials", type=int, default=5)
+    chaos.add_argument("--seed", type=int, default=0, help="base seed")
+    chaos.add_argument(
+        "--events", type=int, default=3,
+        help="overlapping faults per trial",
+    )
+    chaos.add_argument("--rpcs", type=int, default=800)
+    chaos.add_argument(
+        "--horizon", type=float, default=2.0, metavar="SECONDS",
+        help="per-trial simulated horizon",
+    )
+    chaos.add_argument(
+        "--no-standby", action="store_true",
+        help="disable the warm-standby controller (failover off)",
+    )
+    chaos.add_argument(
+        "--no-fence", action="store_true",
+        help="disable epoch fencing (stale plans apply; the hazard demo)",
+    )
+    chaos.add_argument(
+        "--json", metavar="OUT",
+        help="also write the soak results as stable JSON",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     overload = sub.add_parser(
         "overload",

@@ -1,5 +1,6 @@
 """Control plane: mini cluster manager, the ADN controller, placement
-solver, and autoscaler."""
+solver, autoscaler, and the resilience layer (leases, failover,
+epoch-fenced configuration)."""
 
 from .controller import (
     AdnController,
@@ -7,6 +8,17 @@ from .controller import (
     ReconcileRecord,
     RecoveryOrchestrator,
     RecoveryReport,
+)
+from .resilience import (
+    ControllerNode,
+    ControllerPair,
+    FailoverReport,
+    LeaseStore,
+    RecoveryJournal,
+    ResilienceResult,
+    run_chaos_soak,
+    run_chaos_trial,
+    run_control_resilience_scenario,
 )
 from .k8s import (
     ADDED,
@@ -32,8 +44,12 @@ __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
     "ClusterSpec",
+    "ControllerNode",
+    "ControllerPair",
     "DELETED",
+    "FailoverReport",
     "InstalledChain",
+    "LeaseStore",
     "KIND_ADN_CONFIG",
     "KIND_DEPLOYMENT",
     "KIND_NODE",
@@ -42,9 +58,14 @@ __all__ = [
     "PlacementRequest",
     "PlacementSolver",
     "ReconcileRecord",
+    "RecoveryJournal",
     "RecoveryOrchestrator",
     "RecoveryReport",
+    "ResilienceResult",
     "ResourceObject",
     "ScalingEvent",
+    "run_chaos_soak",
+    "run_chaos_trial",
+    "run_control_resilience_scenario",
     "solve_placement",
 ]

@@ -24,7 +24,7 @@ from ..dsl.parser import parse
 from ..dsl.schema import RpcSchema
 from ..dsl.stdlib import load_stdlib
 from ..dsl.validator import validate_program
-from ..errors import AdnError, ControlPlaneError
+from ..errors import AdnError, ControlPlaneError, StaleEpochError
 from ..runtime.mrpc import AdnMrpcStack
 from ..runtime.processor import PlacementPlan
 from .k8s import (
@@ -290,6 +290,9 @@ class RecoveryReport:
     #: ground-truth crash instant when the injector shared it (a real
     #: controller only knows ``suspected_at``)
     crashed_at: Optional[float] = None
+    #: "crash" (restore from the warm standby) or "gray" (the machine
+    #: is alive but degraded: state migrates off it directly)
+    kind: str = "crash"
     rows_restored: int = 0
     deltas_replayed: int = 0
     elements_moved: Tuple[str, ...] = ()
@@ -364,6 +367,12 @@ class RecoveryOrchestrator:
         telemetry=None,
         detector=None,
         crash_times: Optional[Dict[str, float]] = None,
+        epoch_source=None,
+        alive_fn=None,
+        push_ok_fn=None,
+        pre_apply_delay_s: float = 0.0,
+        push_retry_interval_s: float = 0.005,
+        journal=None,
     ):
         self.sim = sim
         self.stack = stack
@@ -375,8 +384,32 @@ class RecoveryOrchestrator:
         self.detector = detector
         #: injector ground truth (FaultInjector.crash_times), if shared
         self.crash_times = crash_times if crash_times is not None else {}
+        #: resilience hooks (repro.control.resilience). ``epoch_source``
+        #: mints the epoch stamped on every re-solved plan (None keeps
+        #: legacy unfenced epoch-0 plans). ``alive_fn`` is this
+        #: controller's own liveness — checked across every yield so a
+        #: controller crash *abandons* the recovery mid-flight instead
+        #: of impossibly completing it. ``pre_apply_delay_s`` models the
+        #: controller-side re-solve/push latency (the window a crash or
+        #: partition can land in). ``journal`` is a write-ahead record
+        #: of open recoveries a warm standby resumes from.
+        self.epoch_source = epoch_source
+        self.alive_fn = alive_fn
+        #: ``push_ok_fn`` is the controller→data-plane channel: a
+        #: control-partitioned controller keeps computing (it does not
+        #: know it is cut off) but its plan push cannot land until the
+        #: partition heals — by which time a new leader's epoch fences it
+        self.push_ok_fn = push_ok_fn
+        self.pre_apply_delay_s = pre_apply_delay_s
+        self.push_retry_interval_s = push_retry_interval_s
+        self.journal = journal
         self.reports: List[RecoveryReport] = []
+        self.abandoned_recoveries = 0
+        self.stale_plan_rejections = 0
         self._in_progress: set = set()
+
+    def _alive(self) -> bool:
+        return self.alive_fn() if self.alive_fn is not None else True
 
     def suspect_sink(self, suspicion) -> None:
         """Detector callback: start recovery if the suspect machine
@@ -390,21 +423,53 @@ class RecoveryOrchestrator:
         if not hosted:
             return
         self._in_progress.add(machine)
-        self.sim.process(self._recover(machine, suspicion.at_s))
+        graceful = getattr(suspicion, "kind", "crash") == "gray"
+        self.sim.process(
+            self._recover(machine, suspicion.at_s, graceful=graceful)
+        )
 
-    def _recover(self, machine: str, suspected_at: float) -> Generator:
+    def recover_now(self, machine: str, suspected_at: float) -> bool:
+        """Explicitly (re)start recovery for a machine — the takeover
+        path: a standby resuming a journaled recovery its dead
+        predecessor left open. Returns False if one is already
+        running here."""
+        if machine in self._in_progress:
+            return False
+        self._in_progress.add(machine)
+        self.sim.process(self._recover(machine, suspected_at))
+        return True
+
+    def _recover(
+        self, machine: str, suspected_at: float, graceful: bool = False
+    ) -> Generator:
         stack = self.stack
+        if self.journal is not None:
+            self.journal.open(machine, suspected_at)
+        if self.pre_apply_delay_s > 0.0:
+            # controller-side work (re-solve, validation, push) takes
+            # real time; a controller death inside this window is what
+            # orphans a recovery without a warm standby
+            yield self.sim.timeout(self.pre_apply_delay_s)
+        if not self._alive():
+            self.abandoned_recoveries += 1
+            self._in_progress.discard(machine)
+            return None
+        if self.push_ok_fn is not None:
+            # the push channel is severed (control partition): keep
+            # retrying — the stale-controller-wakes-up case the epoch
+            # fence exists for
+            while not self.push_ok_fn():
+                yield self.sim.timeout(self.push_retry_interval_s)
+                if not self._alive():
+                    self.abandoned_recoveries += 1
+                    self._in_progress.discard(machine)
+                    return None
         old_locations = stack.plan.element_locations()
         displaced = tuple(
             name
             for name, (_platform, location) in old_locations.items()
             if location == machine
         )
-        # the dead host's un-streamed delta-log tail is gone; account it
-        if self.checkpointer is not None:
-            for element in displaced:
-                if element in getattr(self.checkpointer, "_watches", {}):
-                    self.checkpointer.mark_crashed(element)
         # re-solve on the surviving cluster: the solver only ever places
         # on the ClusterSpec hosts and the switch, so a crashed third
         # machine drops out of the plan naturally
@@ -415,18 +480,38 @@ class RecoveryOrchestrator:
             strategy=self.strategy,
         )
         new_plan = solve_placement(request)
-        old_processors = stack.apply_plan(new_plan)
+        if self.epoch_source is not None:
+            new_plan.epoch = self.epoch_source()
+        try:
+            old_processors = stack.apply_plan(new_plan)
+        except StaleEpochError:
+            # a newer controller already reconfigured the mesh while we
+            # were working (we are the deposed half of a split brain):
+            # stand down, our whole view is superseded
+            self.stale_plan_rejections += 1
+            self._in_progress.discard(machine)
+            return None
+        # the dead host's un-streamed delta-log tail is gone; account it
+        # — only after the fence admitted us, so a deposed controller
+        # never drains a watch its successor already retargeted. A gray
+        # machine is alive and its log still drains; nothing is marked.
+        if self.checkpointer is not None and not graceful:
+            for element in displaced:
+                if element in getattr(self.checkpointer, "_watches", {}):
+                    self.checkpointer.mark_crashed(element)
         if self.telemetry is not None:
             for processor in old_processors:
                 self.telemetry.deregister(processor)
             self.telemetry.register_stack(stack)
         # survivors keep their state: their machines never lost memory,
         # so the rebuild carries it over directly (a warm local copy,
-        # off the blackout path)
+        # off the blackout path). In a graceful (gray) recovery the
+        # "displaced" elements are survivors too — their host is slow,
+        # not dead — so their state migrates directly as well.
         old_state: Dict[str, object] = {}
         for processor in old_processors:
             for name in processor.segment.elements:
-                if name not in displaced:
+                if graceful or name not in displaced:
                     old_state[name] = processor.element_state(name).snapshot()
         for processor in stack.processors:
             for name in processor.segment.elements:
@@ -447,12 +532,19 @@ class RecoveryOrchestrator:
                 target = self._store_of(element)
                 if target is None:
                     continue
-                restore = yield self.sim.process(
-                    self.checkpointer.restore(element, target)
-                )
-                rows_restored += restore.rows_restored
-                deltas_replayed += restore.deltas_replayed
-                restore_s += restore.restore_s
+                if not graceful:
+                    restore = yield self.sim.process(
+                        self.checkpointer.restore(element, target)
+                    )
+                    rows_restored += restore.rows_restored
+                    deltas_replayed += restore.deltas_replayed
+                    restore_s += restore.restore_s
+                    if not self._alive():
+                        # died between restore and retarget: leave the
+                        # journal entry open so a standby re-runs it
+                        self.abandoned_recoveries += 1
+                        self._in_progress.discard(machine)
+                        return None
                 new_home = stack.plan.element_locations()[element][1]
                 self.checkpointer.retarget(
                     element,
@@ -463,11 +555,14 @@ class RecoveryOrchestrator:
                 )
         if self.detector is not None:
             self.detector.clear(machine)
+        if self.journal is not None:
+            self.journal.close(machine)
         report = RecoveryReport(
             machine=machine,
             suspected_at=suspected_at,
             recovered_at=self.sim.now,
             crashed_at=self.crash_times.get(machine),
+            kind="gray" if graceful else "crash",
             rows_restored=rows_restored,
             deltas_replayed=deltas_replayed,
             elements_moved=displaced,

@@ -64,6 +64,11 @@ class ClusterSpec:
     #: the mRPC-style userspace engine is deployed on the hosts; without
     #: it, elements that cannot run in-app or on an offload have no home
     engine_available: bool = True
+    #: a warm-standby controller pair (lease-based leadership, journal
+    #: handoff — repro.control.resilience) runs the recovery path;
+    #: without it the single controller is itself a point of failure
+    #: for every element whose recovery depends on it (lint ADN407)
+    standby_controller: bool = False
 
     def machine_for(self, side: str) -> str:
         if side == "client":

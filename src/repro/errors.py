@@ -124,6 +124,13 @@ class ControlPlaneError(AdnError):
     conflicting update, reconfiguration protocol violation)."""
 
 
+class StaleEpochError(ControlPlaneError):
+    """A configuration push carried an epoch at or below the one the
+    data plane already runs — a deposed or partitioned controller trying
+    to apply a superseded plan. The fence rejects it so a waking old
+    leader can never double-apply placement (split brain)."""
+
+
 class RpcAborted(AdnError):
     """An RPC was aborted by the network (ACL denial, fault injection,
     admission control). Carries the element that aborted it."""

@@ -3,16 +3,22 @@
 The subsystem that turns the repo from "simulates ADN" into "simulates
 ADN under failure": seeded :class:`FaultPlan` schedules drive a
 :class:`FaultInjector` against the simulated substrate; a phi-accrual
-:class:`HeartbeatFailureDetector` watches telemetry fall silent; and the
-:class:`~repro.control.controller.RecoveryOrchestrator` re-solves
+:class:`HeartbeatFailureDetector` watches telemetry fall silent (and,
+when armed, scores *gray* failures that never stop heartbeating); and
+the :class:`~repro.control.controller.RecoveryOrchestrator` re-solves
 placement and restores state from the
-:class:`~repro.state.checkpoint.Checkpointer`'s warm standby.
+:class:`~repro.state.checkpoint.Checkpointer`'s warm standby. Control-
+plane failures — controller crashes, control partitions, split brains —
+are the province of :mod:`repro.control.resilience`.
 """
 
 from .detector import HeartbeatFailureDetector, Suspicion
 from .injector import FaultInjector, TimelineEntry
 from .plan import (
+    CONTROL_PARTITION,
+    DATAPLANE_FAULT_KINDS,
     FAULT_KINDS,
+    GRAY_DEGRADE,
     LINK_LATENCY,
     LINK_LOSS,
     LINK_PARTITION,
@@ -22,6 +28,11 @@ from .plan import (
     FaultEvent,
     FaultPlan,
     FaultPlanError,
+    controller_crash_during_failover_plan,
+    double_crash_plan,
+    load_fault_plan,
+    partition_during_recovery_plan,
+    random_multi_fault_plan,
     random_single_fault_plan,
 )
 from .scenario import (
@@ -33,7 +44,10 @@ from .scenario import (
 )
 
 __all__ = [
+    "CONTROL_PARTITION",
+    "DATAPLANE_FAULT_KINDS",
     "FAULT_KINDS",
+    "GRAY_DEGRADE",
     "LINK_LATENCY",
     "LINK_LOSS",
     "LINK_PARTITION",
@@ -49,8 +63,13 @@ __all__ = [
     "ScenarioResult",
     "Suspicion",
     "TimelineEntry",
+    "controller_crash_during_failover_plan",
     "default_crash_plan",
     "default_retry_policy",
+    "double_crash_plan",
+    "load_fault_plan",
+    "partition_during_recovery_plan",
+    "random_multi_fault_plan",
     "random_single_fault_plan",
     "run_recovery_scenario",
 ]

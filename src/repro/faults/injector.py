@@ -19,6 +19,8 @@ from typing import Dict, Generator, List, Tuple
 from ..sim.cluster import Cluster
 from ..sim.engine import Event, Simulator
 from .plan import (
+    CONTROL_PARTITION,
+    GRAY_DEGRADE,
     LINK_LATENCY,
     LINK_LOSS,
     LINK_PARTITION,
@@ -55,11 +57,25 @@ class FaultInjector:
     crash_times: Dict[str, float] = field(default_factory=dict)
     #: processors currently hung, with the gate each is parked on
     _hung: Dict[str, List[Tuple[object, Event]]] = field(default_factory=dict)
+    #: failure detectors to re-prime when a healed CONTROL_PARTITION
+    #: brings a silenced machine back onto the heartbeat channel
+    detectors: List[object] = field(default_factory=list)
+    #: ground-truth gray-degrade onsets, keyed by machine (mirrors
+    #: ``crash_times`` for detection-latency measurement)
+    gray_times: Dict[str, float] = field(default_factory=dict)
 
     def register_stack(self, stack) -> None:
         """Stacks registered here get processor-level faults (hang,
         slowdown) and instance resets on machine restart."""
         self.stacks.append(stack)
+
+    def register_detector(self, detector) -> None:
+        """Detectors registered here get ``expect()`` re-primed for a
+        machine whose control partition heals: its first post-heal
+        heartbeat is *late* by the whole partition, and without a
+        re-prime the stale arrival stats would instantly re-declare the
+        healthy machine dead."""
+        self.detectors.append(detector)
 
     def _processors_on(self, machine: str) -> List[object]:
         return [
@@ -130,6 +146,20 @@ class FaultInjector:
         elif kind == LINK_LATENCY:
             conditions.extra_latency_us = event.magnitude
             self._log("inject", event, detail=f"+{event.magnitude:.0f}us/hop")
+        elif kind == CONTROL_PARTITION:
+            # dataplane traffic keeps flowing; only the controller's
+            # heartbeat/command channel to this machine is severed
+            self.cluster.machine(event.target).control_reachable = False
+            self._log("inject", event)
+        elif kind == GRAY_DEGRADE:
+            processors = self._processors_on(event.target)
+            for processor in processors:
+                processor.slowdown_factor = event.magnitude
+            self.gray_times.setdefault(event.target, self.sim.now)
+            self._log(
+                "inject", event, detail=f"x{event.magnitude:.1f} on "
+                f"{len(processors)} processors (heartbeats keep flowing)"
+            )
         else:  # pragma: no cover - FaultEvent validates kinds
             raise FaultPlanError(f"unhandled fault kind {kind!r}")
 
@@ -166,4 +196,22 @@ class FaultInjector:
             self._log("revert", event)
         elif kind == LINK_LATENCY:
             conditions.extra_latency_us = 0.0
+            self._log("revert", event)
+        elif kind == CONTROL_PARTITION:
+            self.cluster.machine(event.target).control_reachable = True
+            # rehabilitation: the machine was healthy all along, only
+            # silenced — re-prime every registered detector so its
+            # first (late) post-heal heartbeat is a fresh baseline, not
+            # instant grounds for a second death sentence
+            for detector in self.detectors:
+                detector.expect(event.target)
+            self._log(
+                "revert", event,
+                detail=f"re-primed {len(self.detectors)} detector(s)",
+            )
+        elif kind == GRAY_DEGRADE:
+            for processor in self._processors_on(event.target):
+                processor.slowdown_factor = 1.0
+            # gray_times keeps the onset: it is ground truth for
+            # detection latency, exactly like crash_times
             self._log("revert", event)

@@ -20,7 +20,11 @@ each RPC edge carrying its own chain. This package is that layer:
   control end to end.
 """
 
-from .lint import check_deadline_propagation
+from .lint import (
+    check_control_plane_single_point,
+    check_deadline_propagation,
+    spec_cluster_block,
+)
 from .model import EdgeSpec, GraphBuilder, ServiceGraph, ServiceSpec
 from .placement import (
     GraphPlacement,
@@ -57,10 +61,12 @@ __all__ = [
     "assign_service_machines",
     "bookinfo_graph",
     "build_graph_cluster",
+    "check_control_plane_single_point",
     "check_deadline_propagation",
     "default_machine_pool",
     "hotel_mesh_graph",
     "mesh_program",
     "run_graph_scenario",
     "solve_graph_placement",
+    "spec_cluster_block",
 ]

@@ -100,6 +100,80 @@ def check_deadline_propagation(
     return out
 
 
+def spec_cluster_block(path: str) -> Optional[dict]:
+    """Return a topology spec's optional top-level ``cluster`` block.
+
+    ``ServiceGraph.from_dict`` deliberately ignores unknown top-level
+    keys, so the deployment declaration rides alongside the graph
+    without touching the model. Returns ``None`` when the file is
+    unreadable, not JSON, or declares no object-valued ``cluster`` —
+    load failures are ADN600's to report, not this helper's."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(payload, dict):
+        block = payload.get("cluster")
+        if isinstance(block, dict):
+            return block
+    return None
+
+
+def check_control_plane_single_point(
+    graph: ServiceGraph,
+    cluster: Optional[dict],
+    program: Optional[Program] = None,
+    path: str = "<graph>",
+) -> List[Diagnostic]:
+    """ADN407 over a graph spec: the spec declares its deployment via a
+    top-level ``cluster`` block, the mesh depends on the controller
+    reacting to failures — retrying edges, or (when the element program
+    is at hand) checkpointed chain elements — and the block sets no
+    ``standby_controller``. A spec with no ``cluster`` block takes no
+    position on deployment and stays silent; the DSL-side rule (with
+    ``--standby-controller``) covers that path."""
+    if not isinstance(cluster, dict) or cluster.get("standby_controller"):
+        return []
+    checkpointed: List[str] = []
+    if program is not None:
+        for edge in graph.edges:
+            for name in edge.elements:
+                decl = program.elements.get(name)
+                if (
+                    decl is not None
+                    and decl.meta.get("checkpoint")
+                    and name not in checkpointed
+                ):
+                    checkpointed.append(name)
+    retrying = [edge.name for edge in graph.edges if edge.retries]
+    reasons = []
+    if checkpointed:
+        reasons.append(
+            "checkpointed element(s) " + ", ".join(checkpointed)
+        )
+    if retrying:
+        reasons.append("retrying edge(s) " + ", ".join(retrying))
+    if not reasons:
+        return []
+    return [
+        Diagnostic(
+            code="ADN407",
+            severity=Severity.WARNING,
+            message=(
+                f"graph {graph.name!r} declares a cluster with no "
+                "standby controller, but its mesh depends on "
+                "controller-driven recovery: " + "; ".join(reasons)
+            ),
+            path=path,
+            element=graph.name,
+            fix="set 'standby_controller: true' in the spec's cluster "
+            "block and deploy the warm-standby pair "
+            "(repro.control.resilience)",
+        )
+    ]
+
+
 # -- ADN600: spec loading and resolution as diagnostics -------------------
 
 

@@ -382,6 +382,27 @@ class GraphRuntime:
     def stats(self, src: str, dst: str) -> EdgeStats:
         return self.edge_stats[(src, dst)]
 
+    # -- control-plane reconfiguration ---------------------------------------
+
+    def apply_edge_plan(self, src: str, dst: str, new_plan) -> list:
+        """Install a re-solved placement on one edge's stack, subject to
+        the stack's epoch fence — the mesh-level entry point a
+        controller uses, so stale pushes from a deposed leader are
+        refused per edge exactly like on a single hop."""
+        return self.stack(src, dst).apply_plan(new_plan)
+
+    @property
+    def stale_plans_rejected(self) -> int:
+        """Mesh-wide count of fenced (refused) stale config pushes."""
+        return sum(s.stale_plans_rejected for s in self.stacks.values())
+
+    @property
+    def stale_plans_applied(self) -> int:
+        """Mesh-wide split-brain counter: stale plans that were applied
+        because a stack ran with its fence off. Zero whenever fencing
+        is on — the invariant the resilience benchmark pins."""
+        return sum(s.stale_plans_applied for s in self.stacks.values())
+
     def mesh_stats(self) -> Dict[str, object]:
         """Mesh-wide roll-up: entry goodput plus per-edge counters."""
         return {

@@ -130,6 +130,22 @@ app Offloaded {
 -- lint with --smartnics: the element passes the eBPF-subset check but
 -- its table cannot fit the device; placement falls back to the host
 """,
+    "ADN407": """\
+element DurableLimit {
+    meta { checkpoint: true; }  -- recovery is now the controller's job
+    state quota (user: str KEY, used: int);
+    on request {
+        UPDATE quota SET used = used + 1 WHERE user == input.username;
+        SELECT * FROM input;
+    }
+}
+app Fragile {
+    service A; service B;
+    chain A -> B { DurableLimit }
+}
+-- lint without --standby-controller: the single controller that would
+-- replay DurableLimit's checkpoint is itself a point of failure
+""",
     "ADN501": """\
 element MissingField {
     on request {

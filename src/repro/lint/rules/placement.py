@@ -13,6 +13,15 @@ runtime — if the machine hosting it crashes and the element never opted
 into checkpointing (``meta { checkpoint: true; }``), recovery has no
 source to restore from and the state is simply gone.
 
+``ADN407`` closes the loop ``ADN403`` opens: the fix for
+unrecoverable state is ``meta { checkpoint: true; }``, which makes the
+element's recovery a *controller* responsibility — the
+RecoveryOrchestrator restores the checkpoint and retargets the delta
+stream after a crash. On a cluster with no standby controller
+(:class:`~repro.control.placement.ClusterSpec.standby_controller`),
+that controller is itself a single point of failure: a controller
+crash mid-recovery orphans the mesh with the element's state in limbo.
+
 ``ADN406`` covers the capacity dimension the legality matrix cannot:
 an element can be perfectly expressible in the device's instruction
 subset and still not *fit* — its keyed tables, sized by the
@@ -272,4 +281,55 @@ def check_device_capacity(context) -> List[Diagnostic]:
                             "a software platform",
                         )
                     )
+    return out
+
+
+@rule("ADN407", "control-plane-single-point", Severity.WARNING)
+def check_control_plane_single_point(context) -> List[Diagnostic]:
+    """A chain element opts into checkpointed recovery
+    (``meta { checkpoint: true; }``) but the cluster deploys no standby
+    controller. Checkpointing makes recovery a controller
+    responsibility: after the host crashes, the controller restores the
+    element's state from the delta log and retargets the stream. With a
+    single controller, that recovery path is itself unprotected — a
+    controller crash mid-recovery leaves the mesh orphaned, the
+    element's state restored nowhere. Deploy a warm-standby controller
+    pair (lease-based failover, ``repro.control.resilience``) or accept
+    that the checkpoint buys durability against exactly one machine's
+    failure."""
+    cluster = context.options.cluster
+    if cluster is None or getattr(cluster, "standby_controller", False):
+        return []
+    out: List[Diagnostic] = []
+    reported = set()
+    for app_name in context.own_apps:
+        app = context.program.apps[app_name]
+        for chain in app.chains:
+            for name in chain.elements:
+                if name in reported:
+                    continue
+                ir = context.irs.get(name)
+                if ir is None or not ir.meta.get("checkpoint"):
+                    continue
+                reported.add(name)
+                element = context.program.elements.get(name)
+                span = element.span if element is not None else chain.span
+                out.append(
+                    context.diag(
+                        "ADN407",
+                        Severity.WARNING,
+                        f"element {name!r} relies on controller-driven "
+                        "checkpoint recovery, but the cluster has no "
+                        "standby controller — the controller is a "
+                        "single point of failure for this element's "
+                        "state",
+                        span=span,
+                        element=name,
+                        fix="deploy a warm-standby controller pair and "
+                        "declare it (--standby-controller on the CLI, "
+                        "'standby_controller: true' in the cluster "
+                        "spec), or drop the checkpoint if the state is "
+                        "expendable",
+                    )
+                )
     return out

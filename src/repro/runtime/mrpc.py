@@ -30,6 +30,7 @@ from ..compiler.compiler import CompiledChain
 from ..compiler.headers import plan_hop_headers
 from ..dsl.functions import FunctionRegistry
 from ..dsl.schema import RpcSchema
+from ..errors import StaleEpochError
 from ..net.tcp import wire_bytes_for_message
 from ..net.wire import AdnWireCodec
 from ..overload import DEADLINE_EXPIRED, DEADLINE_FIELD, OVERLOAD_ABORTS
@@ -158,6 +159,17 @@ class AdnMrpcStack:
         #: service each need their own inbox)
         self.l2_tag = l2_tag
         self.plan = plan or default_plan(chain, machine=client_machine)
+        #: epoch fence (repro.control.resilience): the newest
+        #: configuration epoch this stack has accepted. ``apply_plan``
+        #: rejects epoch-carrying plans that are not strictly newer —
+        #: the defense against a deposed controller double-applying a
+        #: superseded placement. Legacy epoch-0 plans stay unfenced.
+        self.config_epoch = self.plan.epoch
+        self.fence_epochs = True
+        self.stale_plans_rejected = 0
+        #: only ever nonzero with ``fence_epochs`` off (the split-brain
+        #: baseline the resilience benchmark compares against)
+        self.stale_plans_applied = 0
         self.costs = cluster.costs
         self.handcoded = handcoded
         self.client_service = client_service
@@ -848,7 +860,24 @@ class AdnMrpcStack:
         routed at a crashed machine die at their next liveness
         checkpoint and come back through the new plan via retries —
         exactly how a real data plane drains a superseded config.
+
+        Epoch fence: a plan carrying an epoch must be strictly newer
+        than ``config_epoch`` or it is refused with
+        :class:`~repro.errors.StaleEpochError` (counted in
+        ``stale_plans_rejected``). Plans with epoch 0 against an
+        epoch-0 stack are legacy installs and bypass the fence.
         """
+        if new_plan.epoch or self.config_epoch:
+            if new_plan.epoch <= self.config_epoch:
+                if self.fence_epochs:
+                    self.stale_plans_rejected += 1
+                    raise StaleEpochError(
+                        f"stale plan epoch {new_plan.epoch} <= installed "
+                        f"epoch {self.config_epoch}: refusing to apply "
+                        "a superseded configuration"
+                    )
+                self.stale_plans_applied += 1
+            self.config_epoch = max(self.config_epoch, new_plan.epoch)
         old = self.processors
         for processor in old:
             processor.detach_sanitizer()

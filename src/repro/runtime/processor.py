@@ -61,6 +61,10 @@ class PlacementPlan:
     client_transport: str = "engine"
     server_transport: str = "engine"
     description: str = ""
+    #: configuration epoch minted by the controller that solved this
+    #: plan; the data plane fences installs whose epoch is not strictly
+    #: newer than what it already runs (0 = legacy unfenced plan)
+    epoch: int = 0
 
     def segments_on(self, machine: str) -> List[PlacementSegment]:
         return [seg for seg in self.segments if seg.machine == machine]
@@ -193,6 +197,13 @@ class ProcessorRuntime:
         """False while the hosting machine is crashed: RPCs routed here
         blackhole instead of executing."""
         return self.cluster.machine_up(self.segment.machine)
+
+    @property
+    def control_reachable(self) -> bool:
+        """False while the hosting machine's control channel is severed
+        (CONTROL_PARTITION): the dataplane keeps serving, but telemetry
+        reports cannot reach the controller."""
+        return self.cluster.control_reachable(self.segment.machine)
 
     def reset_instances(self) -> None:
         """Re-create every element instance with empty runtime state —

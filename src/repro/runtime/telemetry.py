@@ -43,6 +43,11 @@ class ProcessorReport:
     sheds_in_window: int = 0
     queue_rejects_in_window: int = 0
     deadline_drops_in_window: int = 0
+    #: mean CPU service time per RPC over the window (ms) — the latency
+    #: telemetry the gray-failure score runs on: a machine that is alive
+    #: but 10-50x slow keeps heartbeating on schedule, and only this
+    #: signal gives it away (repro.faults GRAY_DEGRADE)
+    service_ms_per_rpc: float = 0.0
 
     @property
     def rate_rps(self) -> float:
@@ -83,6 +88,7 @@ class TelemetryCollector:
         self._last: Dict[ProcessorRuntime, Dict[str, float]] = {}
         self.reports: List[ProcessorReport] = []
         self.skipped_down = 0
+        self.skipped_partitioned = 0
 
     def register(self, processor: ProcessorRuntime) -> None:
         if processor in self._last:
@@ -134,6 +140,13 @@ class TelemetryCollector:
                 # failure detector see silence
                 self.skipped_down += 1
                 continue
+            if not getattr(processor, "control_reachable", True):
+                # CONTROL_PARTITION: the machine is alive and serving,
+                # but its reports cannot reach us — the detector sees
+                # the same silence a crash produces, which is exactly
+                # the ambiguity partition tolerance has to live with
+                self.skipped_partitioned += 1
+                continue
             window = self.sim.now - last["at"]
             busy = (
                 processor.resource.busy_time
@@ -159,15 +172,19 @@ class TelemetryCollector:
                 if grants_in_window > 0
                 else 0.0
             )
+            rpcs_in_window = int(processor.rpcs_processed - last["processed"])
+            service_ms_per_rpc = (
+                (busy - last["busy"]) / rpcs_in_window * 1e3
+                if rpcs_in_window > 0
+                else 0.0
+            )
             report = ProcessorReport(
                 at_s=self.sim.now,
                 platform=processor.segment.platform.value,
                 machine=processor.segment.machine,
                 elements=processor.segment.elements,
                 window_s=window,
-                rpcs_in_window=int(
-                    processor.rpcs_processed - last["processed"]
-                ),
+                rpcs_in_window=rpcs_in_window,
                 drops_in_window=int(processor.rpcs_dropped - last["dropped"]),
                 utilization=utilization,
                 element_processed=dict(processor.element_processed),
@@ -183,6 +200,7 @@ class TelemetryCollector:
                 deadline_drops_in_window=int(
                     processor.rpcs_deadline_expired - last["dexp"]
                 ),
+                service_ms_per_rpc=service_ms_per_rpc,
             )
             last.update(
                 processed=float(processor.rpcs_processed),

@@ -36,6 +36,11 @@ class Machine:
     up: bool = True
     crashed_at: Optional[float] = None
     restarted_at: Optional[float] = None
+    #: control-channel reachability (repro.faults CONTROL_PARTITION):
+    #: when False the machine is alive and serving dataplane traffic,
+    #: but its heartbeat/command channel to the controller is severed —
+    #: telemetry stops flowing and config pushes cannot land
+    control_reachable: bool = True
 
     def __post_init__(self) -> None:
         if self.has_smartnic:
@@ -146,6 +151,12 @@ class Cluster:
         machine (the switch pipeline) never crash in this model."""
         machine = self.machines.get(name)
         return machine is None or machine.up
+
+    def control_reachable(self, name: str) -> bool:
+        """Can the controller reach this location's heartbeat/command
+        channel? Unknown locations (the switch) are always reachable."""
+        machine = self.machines.get(name)
+        return machine is None or machine.control_reachable
 
 
 def two_machine_cluster(

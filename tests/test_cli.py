@@ -215,4 +215,29 @@ class TestFaults:
         plan_path = tmp_path / "bad.json"
         plan_path.write_text('{"seed": 1}')
         assert main(["faults", "--plan", str(plan_path)]) == 1
-        assert "events" in capsys.readouterr().err
+        out = capsys.readouterr().out
+        assert "ADN610" in out
+        assert "events" in out
+        assert "Traceback" not in out
+
+    def test_unparseable_plan_rejected(self, tmp_path, capsys):
+        plan_path = tmp_path / "garbage.json"
+        plan_path.write_text("{not json")
+        assert main(["faults", "--plan", str(plan_path)]) == 1
+        out = capsys.readouterr().out
+        assert "ADN610" in out
+        assert "1 error(s)" in out
+
+    def test_chaos_soak_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "soak.json"
+        assert main(
+            ["chaos", "--trials", "2", "--rpcs", "400",
+             "--json", str(out_path)]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "chaos"
+        assert payload["schema_version"] == 1
+        assert payload["results"]["total_stale_applied"] == 0
+        assert len(payload["results"]["trials"]) == 2
